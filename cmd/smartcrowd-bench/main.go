@@ -1,0 +1,92 @@
+// Command smartcrowd-bench regenerates the tables and figures of the
+// SmartCrowd paper's evaluation (§VII).
+//
+// Usage:
+//
+//	smartcrowd-bench              # run everything at quick scale
+//	smartcrowd-bench -full        # paper-sized runs (2000 blocks, 100 trials)
+//	smartcrowd-bench -run fig5a   # one experiment (comma-separate for more)
+//	smartcrowd-bench -list        # list experiment ids
+//
+// Every run prints the regenerated rows plus PASS/FAIL notes for the
+// paper's qualitative claims; the exit status is non-zero if any shape
+// check fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/smartcrowd/smartcrowd/internal/bench"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		full   = flag.Bool("full", false, "paper-sized runs (slower)")
+		only   = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		csvDir = flag.String("csv", "", "also write each report as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, exp := range bench.All() {
+			fmt.Printf("%-14s %s\n", exp.ID, exp.Title)
+		}
+		return 0
+	}
+
+	scale := bench.Quick
+	if *full {
+		scale = bench.Full
+	}
+
+	selected := bench.All()
+	if *only != "" {
+		selected = selected[:0]
+		for _, id := range strings.Split(*only, ",") {
+			exp, ok := bench.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "smartcrowd-bench: unknown experiment %q (try -list)\n", id)
+				return 2
+			}
+			selected = append(selected, exp)
+		}
+	}
+
+	failures := 0
+	for _, exp := range selected {
+		start := time.Now()
+		report, err := exp.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smartcrowd-bench: %s: %v\n", exp.ID, err)
+			failures++
+			continue
+		}
+		fmt.Println(report)
+		fmt.Printf("(%s in %s)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, exp.ID+".csv")
+			if err := os.WriteFile(path, []byte(report.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "smartcrowd-bench: write %s: %v\n", path, err)
+				failures++
+			}
+		}
+		if !report.ShapeOK {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "smartcrowd-bench: %d experiment(s) failed shape checks\n", failures)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,86 @@
+package smartcrowd_test
+
+import (
+	"fmt"
+
+	"github.com/smartcrowd/smartcrowd"
+)
+
+// Example walks the full SmartCrowd lifecycle: an insured release, crowd
+// detection through the two-phase report protocol, automatic payout, and
+// the consumer's authoritative reference.
+func Example() {
+	p := smartcrowd.NewPlatform(smartcrowd.PlatformConfig{Seed: 42})
+	_ = p.Fund(p.ProviderWallet("acme").Address(), smartcrowd.EtherAmount(10_000))
+	_ = p.Fund(p.DetectorWallet("seclab").Address(), smartcrowd.EtherAmount(100))
+	_, _ = p.AddProvider("acme")
+	_, _ = p.AddDetector("seclab", &smartcrowd.CapabilityEngine{
+		Name: "seclab", Capability: 1, Speed: 8, Seed: 42,
+	})
+
+	img := smartcrowd.GenerateImage("smart-lock-fw", "1.3.0",
+		smartcrowd.UniverseSpec{High: 2, Medium: 1, Seed: 42})
+	sra, _ := p.Release(0, img, smartcrowd.EtherAmount(1000), smartcrowd.EtherAmount(5))
+	for i := 0; i < 6; i++ {
+		_, _ = p.Mine(0)
+	}
+
+	ref, _ := p.Reference(sra.ID)
+	fmt.Printf("confirmed: %d, safe to deploy: %v\n", ref.ConfirmedVulns, ref.SafeToDeploy)
+	fmt.Printf("detector earned: %s\n", p.Detectors()[0].Earnings())
+	// Output:
+	// confirmed: 3, safe to deploy: false
+	// detector earned: 15 ETH
+}
+
+// ExampleRunSimulation reproduces a slice of the paper's evaluation: a
+// 30-minute platform run with capability-graded detectors.
+func ExampleRunSimulation() {
+	res, err := smartcrowd.RunSimulation(smartcrowd.SimConfig{
+		Seed: 7,
+		Providers: []smartcrowd.ProviderSpec{
+			{Name: "p1", HashShare: 0.6},
+			{Name: "p2", HashShare: 0.4},
+		},
+		Detectors: []smartcrowd.DetectorSpec{
+			{Name: "slow", Threads: 1},
+			{Name: "fast", Threads: 8},
+		},
+		Releases: []smartcrowd.ReleaseSpec{{
+			Provider:  0,
+			At:        30_000_000_000, // 30 s
+			Insurance: smartcrowd.EtherAmount(1000),
+			Bounty:    smartcrowd.EtherAmount(5),
+			NumVulns:  6,
+		}},
+		Horizon: 1_800_000_000_000, // 30 min
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sra := res.SRAs[0]
+	fmt.Printf("confirmed %d/%d, forfeited %s\n", sra.Confirmed, sra.NumVulns, sra.PaidOut)
+	// Output:
+	// confirmed 6/6, forfeited 30 ETH
+}
+
+// ExamplePaperProviderModel evaluates the paper's §VI-B theory: the
+// vulnerability-proportion baseline of the 14.9%-hashing-power provider.
+func ExamplePaperProviderModel() {
+	m := smartcrowd.PaperProviderModel(0.149, 1000)
+	fmt.Printf("VPB at 10 minutes: %.3f\n", m.VPB(10*60*1_000_000_000))
+	// Output:
+	// VPB at 10 minutes: 0.038
+}
+
+// ExampleAggregateFindings merges differently-worded reports of the same
+// vulnerability (paper §VIII, N-version descriptions).
+func ExampleAggregateFindings() {
+	a := []smartcrowd.Finding{{VulnID: "V-1", Severity: smartcrowd.SeverityMedium, Evidence: "overflow in parser"}}
+	b := []smartcrowd.Finding{{VulnID: "V-1", Severity: smartcrowd.SeverityHigh, Evidence: "heap smash via URI"}}
+	merged := smartcrowd.AggregateFindings(a, b)
+	fmt.Printf("%d finding, severity %s\n", len(merged), merged[0].Severity)
+	// Output:
+	// 1 finding, severity high
+}

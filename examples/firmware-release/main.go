@@ -1,0 +1,117 @@
+// Firmware release lifecycle: the accountability loop of SmartCrowd.
+//
+// A vendor ships a buggy firmware, gets punished out of its escrowed
+// insurance as crowdsourced detectors uncover the flaws, then ships a
+// patched version that survives detection — and a consumer comparing the
+// two on-chain references picks the safe one. This is the paper's core
+// economic argument: releasing secure systems is strictly more profitable.
+//
+//	go run ./examples/firmware-release
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/smartcrowd/smartcrowd"
+)
+
+func main() {
+	p := smartcrowd.NewPlatform(smartcrowd.PlatformConfig{Seed: 7})
+	for label, funds := range map[string]uint64{"vendor": 20_000, "rival": 20_000} {
+		if err := p.Fund(p.ProviderWallet(label).Address(), smartcrowd.EtherAmount(funds)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, lab := range []string{"lab-a", "lab-b", "lab-c"} {
+		if err := p.Fund(p.DetectorWallet(lab).Address(), smartcrowd.EtherAmount(200)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := p.AddProvider("vendor"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := p.AddProvider("rival"); err != nil {
+		log.Fatal(err)
+	}
+	// Three independent labs with different capability profiles — the
+	// N-version detection the paper motivates with CloudAV.
+	for i, lab := range []string{"lab-a", "lab-b", "lab-c"} {
+		engine := &smartcrowd.CapabilityEngine{
+			Name:       lab,
+			Capability: 0.6 + 0.2*float64(i),
+			Speed:      float64(1 + 2*i),
+			Seed:       int64(100 + i),
+		}
+		if _, err := p.AddDetector(lab, engine); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	vendorAddr := p.ProviderWallet("vendor").Address()
+	mineRound := func(n int) {
+		for i := 0; i < n; i++ {
+			if _, err := p.Mine(i % 2); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	balance := func() smartcrowd.Amount {
+		return p.Providers()[0].Chain().State().Balance(vendorAddr)
+	}
+
+	// --- v1.0: rushed, vulnerable release -------------------------------
+	before := balance()
+	buggy := smartcrowd.GenerateImage("thermo-fw", "1.0", smartcrowd.UniverseSpec{
+		High: 3, Medium: 3, Low: 2, Seed: 11,
+	})
+	sra1, err := p.Release(0, buggy, smartcrowd.EtherAmount(1000), smartcrowd.EtherAmount(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mineRound(8)
+	ref1, err := p.Reference(sra1.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("v1.0 released with %d seeded flaws\n", len(buggy.Vulns))
+	fmt.Printf("  confirmed on chain: %d vulnerabilities\n", ref1.ConfirmedVulns)
+	fmt.Printf("  insurance forfeited: %s of %s\n",
+		sra1.Insurance-ref1.InsuranceRemaining, sra1.Insurance)
+	fmt.Printf("  vendor balance: %s → %s\n", before, balance())
+	fmt.Printf("  consumer verdict: safe=%v\n\n", ref1.SafeToDeploy)
+
+	// --- v1.1: patched release ------------------------------------------
+	before = balance()
+	patched := smartcrowd.GenerateImage("thermo-fw", "1.1", smartcrowd.UniverseSpec{Seed: 12})
+	sra2, err := p.Release(0, patched, smartcrowd.EtherAmount(1000), smartcrowd.EtherAmount(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mineRound(8)
+	ref2, err := p.Reference(sra2.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("v1.1 released after fixing every flaw\n")
+	fmt.Printf("  confirmed on chain: %d vulnerabilities\n", ref2.ConfirmedVulns)
+	fmt.Printf("  insurance intact: %s\n", ref2.InsuranceRemaining)
+	fmt.Printf("  vendor balance: %s → %s (mining income continues)\n", before, balance())
+	fmt.Printf("  consumer verdict: safe=%v\n\n", ref2.SafeToDeploy)
+
+	// --- the consumer's choice ------------------------------------------
+	fmt.Println("consumer comparing releases:")
+	for _, v := range []struct {
+		version string
+		ref     smartcrowd.Reference
+	}{{"1.0", ref1}, {"1.1", ref2}} {
+		fmt.Printf("  thermo-fw v%s: %d confirmed vulns, deploy=%v\n",
+			v.version, v.ref.ConfirmedVulns, v.ref.SafeToDeploy)
+	}
+
+	// Detector earnings: the crowd was paid automatically.
+	fmt.Println("\ndetector earnings:")
+	for i, det := range p.Detectors() {
+		fmt.Printf("  lab-%c: %s\n", 'a'+i, det.Earnings())
+	}
+}

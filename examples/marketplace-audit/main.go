@@ -1,0 +1,109 @@
+// Marketplace audit: why centralized scanning services are not enough.
+//
+// Reproduces the motivation of the paper's Table I: six third-party
+// services scan the same two IoT apps and return inconsistent, partially
+// overlapping results — then SmartCrowd's crowdsourced detection, with the
+// same engines acting as incentivized detectors, produces one complete,
+// authoritative on-chain reference.
+//
+//	go run ./examples/marketplace-audit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/smartcrowd/smartcrowd"
+)
+
+func main() {
+	apps := smartcrowd.TableIApps()
+	services := smartcrowd.TableIServices()
+
+	// --- Part 1: the fragmented status quo -------------------------------
+	fmt.Println("centralized services scanning the marketplace (Table I):")
+	fmt.Printf("%-14s", "service")
+	for _, app := range apps {
+		fmt.Printf("  %22s", app.Name)
+	}
+	fmt.Println()
+	scans := make(map[string]map[string][]smartcrowd.Detection)
+	for _, svc := range services {
+		scans[svc.Name] = make(map[string][]smartcrowd.Detection)
+		fmt.Printf("%-14s", svc.Name)
+		for _, app := range apps {
+			ds := svc.Scan(app)
+			scans[svc.Name][app.Name] = ds
+			c := smartcrowd.CountBySeverity(ds)
+			fmt.Printf("  %6s", fmt.Sprintf("H:%d", c[0]))
+			fmt.Printf("%8s", fmt.Sprintf("M:%d", c[1]))
+			fmt.Printf("%8s", fmt.Sprintf("L:%d", c[2]))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\npairwise overlap between the two strongest services:")
+	for _, app := range apps {
+		o := smartcrowd.Overlap("Quixxi", scans["Quixxi"][app.Name],
+			"jaq.alibaba", scans["jaq.alibaba"][app.Name])
+		fmt.Printf("  %-22s |Quixxi|=%2d |jaq|=%2d shared=%2d jaccard=%.2f\n",
+			app.Name, o.SizeA, o.SizeB, o.Intersect, o.Jaccard())
+	}
+
+	// --- Part 2: the same engines inside SmartCrowd ----------------------
+	fmt.Println("\nSmartCrowd: the same services join as incentivized detectors")
+	p := smartcrowd.NewPlatform(smartcrowd.PlatformConfig{Seed: 21})
+	if err := p.Fund(p.ProviderWallet("marketplace").Address(), smartcrowd.EtherAmount(50_000)); err != nil {
+		log.Fatal(err)
+	}
+	for _, svc := range services {
+		if err := p.Fund(p.DetectorWallet(svc.Name).Address(), smartcrowd.EtherAmount(500)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := p.AddProvider("marketplace"); err != nil {
+		log.Fatal(err)
+	}
+	for _, svc := range services {
+		if _, err := p.AddDetector(svc.Name, svc); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	for _, app := range apps {
+		sra, err := p.Release(0, app, smartcrowd.EtherAmount(2000), smartcrowd.EtherAmount(2))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			if _, err := p.Mine(0); err != nil {
+				log.Fatal(err)
+			}
+		}
+		ref, err := p.Reference(sra.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Union coverage of the isolated services, for comparison.
+		union := make(map[string]bool)
+		for _, svc := range services {
+			for _, d := range scans[svc.Name][app.Name] {
+				union[d.Finding.VulnID] = true
+			}
+		}
+		fmt.Printf("\n  %s:\n", app.Name)
+		fmt.Printf("    union of isolated service findings: %d\n", len(union))
+		fmt.Printf("    SmartCrowd on-chain reference:      %d confirmed (H:%d M:%d L:%d)\n",
+			ref.ConfirmedVulns,
+			ref.BySeverity[smartcrowd.SeverityHigh],
+			ref.BySeverity[smartcrowd.SeverityMedium],
+			ref.BySeverity[smartcrowd.SeverityLow])
+		fmt.Printf("    single authoritative record, every finding verified and attributed\n")
+	}
+
+	fmt.Println("\ndetector payouts (each service was paid for its unique findings):")
+	for i, svc := range services {
+		fmt.Printf("  %-14s %s\n", svc.Name, p.Detectors()[i].Earnings())
+	}
+}

@@ -1,0 +1,67 @@
+// Quickstart: the smallest end-to-end SmartCrowd run.
+//
+// One provider releases a firmware with seeded vulnerabilities, one
+// detector scans it and walks the two-phase report protocol, the contract
+// pays the bounty automatically, and a consumer reads the authoritative
+// reference before deciding whether to deploy.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/smartcrowd/smartcrowd"
+)
+
+func main() {
+	// Assemble a platform: fund the deterministic wallets first, then add
+	// the nodes (genesis is fixed when the first provider starts).
+	p := smartcrowd.NewPlatform(smartcrowd.PlatformConfig{Seed: 42})
+	if err := p.Fund(p.ProviderWallet("acme").Address(), smartcrowd.EtherAmount(10_000)); err != nil {
+		log.Fatal(err)
+	}
+	if err := p.Fund(p.DetectorWallet("seclab").Address(), smartcrowd.EtherAmount(100)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := p.AddProvider("acme"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := p.AddDetector("seclab", &smartcrowd.CapabilityEngine{
+		Name: "seclab", Capability: 1, Speed: 8, Seed: 42,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// The provider releases a firmware image with three seeded flaws,
+	// staking 1000 ETH insurance and presetting a 5 ETH bounty per
+	// confirmed vulnerability.
+	img := smartcrowd.GenerateImage("smart-lock-fw", "1.3.0", smartcrowd.UniverseSpec{
+		High: 2, Medium: 1, Seed: 42,
+	})
+	sra, err := p.Release(0, img, smartcrowd.EtherAmount(1000), smartcrowd.EtherAmount(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("released %s v%s (SRA %s, insurance %s)\n",
+		img.Name, img.Version, sra.ID.Short(), sra.Insurance)
+
+	// Mine a few blocks: the announcement chains, the detector commits
+	// R†, reveals R*, and the contract pays out — no authority involved.
+	for i := 0; i < 6; i++ {
+		if _, err := p.Mine(0); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A consumer checks the blockchain before deploying.
+	ref, err := p.Reference(sra.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("confirmed vulnerabilities: %d\n", ref.ConfirmedVulns)
+	fmt.Printf("insurance remaining:       %s\n", ref.InsuranceRemaining)
+	fmt.Printf("safe to deploy:            %v\n", ref.SafeToDeploy)
+	fmt.Printf("detector earnings:         %s\n", p.Detectors()[0].Earnings())
+}

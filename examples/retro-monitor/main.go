@@ -1,0 +1,109 @@
+// Retrospective detection monitoring (the SmartRetro extension, paper §IX
+// reference [46]): a consumer deploys a system that looks clean today and
+// keeps a subscription on its SRA. Months later the public vulnerability
+// feeds catch up, a better-equipped detector joins the crowd, finds the
+// latent flaws retroactively — and the consumer is notified automatically,
+// while the detector is paid and the vendor punished, long after release.
+//
+//	go run ./examples/retro-monitor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/smartcrowd/smartcrowd"
+)
+
+func main() {
+	p := smartcrowd.NewPlatform(smartcrowd.PlatformConfig{Seed: 33})
+	if err := p.Fund(p.ProviderWallet("vendor").Address(), smartcrowd.EtherAmount(20_000)); err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range []string{"early-scanner", "late-scanner"} {
+		if err := p.Fund(p.DetectorWallet(d).Address(), smartcrowd.EtherAmount(200)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := p.AddProvider("vendor"); err != nil {
+		log.Fatal(err)
+	}
+
+	// The released firmware carries six latent flaws.
+	img := smartcrowd.GenerateImage("hub-fw", "5.1", smartcrowd.UniverseSpec{
+		High: 3, Medium: 3, Seed: 12,
+	})
+
+	// At release time, the public CVE feed only documents a fraction of
+	// them; the sole active detector scans by signature.
+	earlyFeed := smartcrowd.NewVulnLibrary()
+	for i, v := range img.Vulns {
+		if i%3 == 0 { // the feed knows every third flaw
+			earlyFeed.Add(smartcrowd.Signature{VulnID: v.ID, Source: "CVE", Severity: v.Severity})
+		}
+	}
+	if _, err := p.AddDetector("early-scanner", &smartcrowd.LibraryEngine{
+		Name: "early-scanner", Library: earlyFeed,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	sra, err := p.Release(0, img, smartcrowd.EtherAmount(1000), smartcrowd.EtherAmount(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The consumer deploys immediately and subscribes for retrospective
+	// alerts (nothing is known yet, so it acknowledges zero findings).
+	if err := p.Subscribe("smart-home-owner", sra.ID, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	mustMine := func(n int) {
+		for i := 0; i < n; i++ {
+			if _, err := p.Mine(0); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	drain := func(stage string) {
+		for _, n := range p.Notifications() {
+			fmt.Printf("  [alert→%s] %s: %d new vulnerabilities (total %d) at block %d\n",
+				n.Subscriber, stage, n.NewVulns, n.TotalVulns, n.BlockNumber)
+		}
+	}
+
+	fmt.Println("day 0: release + initial signature scan")
+	mustMine(5)
+	drain("day 0")
+	ref, err := p.Reference(sra.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  on-chain reference: %d confirmed vulnerabilities\n\n", ref.ConfirmedVulns)
+
+	// --- months later: the feed catches up, a stronger detector joins ---
+	fmt.Println("month 3: disclosure catches up; a fully-equipped detector joins")
+	fullFeed := smartcrowd.NewVulnLibrary()
+	for _, v := range img.Vulns {
+		fullFeed.Add(smartcrowd.Signature{VulnID: v.ID, Source: "NVD", Severity: v.Severity})
+	}
+	if _, err := p.AddDetector("late-scanner", &smartcrowd.LibraryEngine{
+		Name: "late-scanner", Library: fullFeed,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	mustMine(5)
+	drain("month 3")
+
+	ref, err = p.Reference(sra.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal state of %s v%s:\n", img.Name, img.Version)
+	fmt.Printf("  confirmed vulnerabilities: %d of %d seeded\n", ref.ConfirmedVulns, len(img.Vulns))
+	fmt.Printf("  insurance remaining:       %s\n", ref.InsuranceRemaining)
+	dets := p.Detectors()
+	fmt.Printf("  early-scanner earned:      %s\n", dets[0].Earnings())
+	fmt.Printf("  late-scanner earned:       %s (retroactive detection pays)\n", dets[1].Earnings())
+	fmt.Printf("  consumer verdict now:      safe=%v — time to patch\n", ref.SafeToDeploy)
+}

@@ -1,0 +1,3 @@
+module github.com/smartcrowd/smartcrowd
+
+go 1.22

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/smartcrowd/smartcrowd/internal/sim"
+	"github.com/smartcrowd/smartcrowd/internal/types"
+)
+
+// AnalysisDCT quantifies the paper's Eq. 11 argument: total detection
+// capability DC_T = Σ DC_i·ρ_i grows toward 1 as more detectors join —
+// "more detectors' participation attracted by the incentives in SmartCrowd
+// will introduce a more comprehensive detection result". The measured
+// column runs the full platform with m detectors of fixed individual
+// capability 0.5 and reports the fraction of the vulnerability universe
+// that ends up confirmed on chain.
+func AnalysisDCT(scale Scale) (*Report, error) {
+	const (
+		perDetector = 0.5 // DC_i: each detector finds half the flaws
+		vulns       = 40
+	)
+	crowdSizes := []int{1, 2, 4, 8, 16}
+	trials := 2
+	if scale == Full {
+		trials = 10
+	}
+
+	r := &Report{
+		ID:      "abl-dct",
+		Title:   "Total detection capability vs crowd size (Eq. 11)",
+		Headers: []string{"Detectors m", "Theory DC_T", "Measured coverage"},
+		ShapeOK: true,
+	}
+
+	theory := func(m int) float64 {
+		// With identical DC_i = c and ρ_i = share of first-reports, the
+		// expected coverage is 1 − (1−c)^m: a vulnerability stays hidden
+		// only if every detector misses it.
+		p := 1.0
+		for i := 0; i < m; i++ {
+			p *= 1 - perDetector
+		}
+		return 1 - p
+	}
+
+	measured := make([]float64, len(crowdSizes))
+	theories := make([]float64, len(crowdSizes))
+	for ci, m := range crowdSizes {
+		theories[ci] = theory(m)
+		var covered float64
+		for trial := 0; trial < trials; trial++ {
+			detectors := make([]sim.DetectorSpec, m)
+			for i := range detectors {
+				detectors[i] = sim.DetectorSpec{
+					Name:       fmt.Sprintf("d%d", i),
+					Threads:    4,
+					Capability: perDetector,
+				}
+			}
+			res, err := sim.Run(sim.Config{
+				Seed:      901 + int64(ci*100+trial),
+				Providers: paperProviderSpecs(),
+				Detectors: detectors,
+				Releases: []sim.ReleaseSpec{{
+					Provider: 2, At: 30 * time.Second,
+					Insurance: types.EtherAmount(2000), Bounty: types.EtherAmount(2),
+					NumVulns: vulns,
+				}},
+				Horizon:      30 * time.Minute,
+				MeanFindTime: 45 * time.Second,
+			})
+			if err != nil {
+				return nil, err
+			}
+			covered += float64(res.SRAs[0].Confirmed) / vulns
+		}
+		measured[ci] = covered / float64(trials)
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%d", m),
+			fmt.Sprintf("%.3f", theories[ci]),
+			fmt.Sprintf("%.3f", measured[ci]),
+		})
+	}
+
+	// Shape 1: coverage grows with crowd size.
+	growing := true
+	for i := 1; i < len(crowdSizes); i++ {
+		if measured[i] < measured[i-1] {
+			growing = false
+		}
+	}
+	r.check(growing, "measured coverage grows with the detector crowd")
+
+	// Shape 2: with 16 half-capable detectors, coverage approaches 1.
+	r.check(measured[len(crowdSizes)-1] > 0.95,
+		"16 detectors at DC=0.5 cover %.1f%% (Eq. 11: DC_T → 1 as m grows)",
+		measured[len(crowdSizes)-1]*100)
+
+	// Shape 3: measurements track 1−(1−c)^m within 10 points.
+	tracks := true
+	for i := range crowdSizes {
+		if diff := measured[i] - theories[i]; diff > 0.10 || diff < -0.10 {
+			tracks = false
+		}
+	}
+	r.check(tracks, "measured coverage tracks the 1−(1−DC)^m model within ±0.10")
+	return r, nil
+}

@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/smartcrowd/smartcrowd/internal/economics"
+	"github.com/smartcrowd/smartcrowd/internal/sim"
+	"github.com/smartcrowd/smartcrowd/internal/types"
+)
+
+// measuredIncentives runs the mining workload over the horizon and
+// returns each provider's mean (mining + fees) income in ether, averaged
+// across trials. A single simulation measures all providers at once —
+// common random numbers, so cross-provider comparisons are exact within a
+// trial.
+func measuredIncentives(horizon time.Duration, trials int, seed int64) ([]float64, error) {
+	totals := make([]float64, len(paperProviderSpecs()))
+	for trial := 0; trial < trials; trial++ {
+		res, err := sim.Run(sim.Config{
+			Seed:      seed + int64(trial),
+			Providers: paperProviderSpecs(),
+			Detectors: []sim.DetectorSpec{
+				{Name: "d1", Threads: 4}, {Name: "d2", Threads: 8},
+			},
+			Releases: []sim.ReleaseSpec{{
+				Provider: 4, At: time.Minute,
+				Insurance: types.EtherAmount(1000), Bounty: types.EtherAmount(5), NumVulns: 8,
+			}},
+			Horizon: horizon,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i := range totals {
+			bal := res.ProviderBalance(i)
+			totals[i] += (bal.Mining + bal.Fees).Ether()
+		}
+	}
+	for i := range totals {
+		totals[i] /= float64(trials)
+	}
+	return totals, nil
+}
+
+// Fig5a regenerates Fig. 5(a): the vulnerability-proportion baseline (VPB)
+// at which a provider's mining incentives exactly offset its punishments,
+// as a function of hashing power, for horizons of 10, 20 and 30 minutes
+// with a 1000-ether insurance. The theory column evaluates the §VI-B
+// model; the measured column derives VPB from simulated mining income.
+func Fig5a(scale Scale) (*Report, error) {
+	const insurance = 1000.0
+	horizons := []time.Duration{10 * time.Minute, 20 * time.Minute, 30 * time.Minute}
+	trials := 12
+	if scale == Full {
+		trials = 30
+	}
+
+	specs := paperProviderSpecs()
+	r := &Report{
+		ID:      "fig5a",
+		Title:   "VP baseline vs hashing power (insurance 1000 ETH)",
+		Headers: []string{"Provider", "HP %", "VPB@10m", "VPB@20m", "VPB@30m", "theory@10m"},
+		ShapeOK: true,
+	}
+
+	vpbs := make([][]float64, len(specs)) // [provider][horizon]
+	for i := range specs {
+		vpbs[i] = make([]float64, len(horizons))
+	}
+	for hi, horizon := range horizons {
+		incomes, err := measuredIncentives(horizon, trials, 501+int64(hi)*1000)
+		if err != nil {
+			return nil, err
+		}
+		for i := range specs {
+			// VPB solves income = VP·I + deployCost.
+			vpb := (incomes[i] - 0.095) / insurance
+			if vpb < 0 {
+				vpb = 0
+			}
+			vpbs[i][hi] = vpb
+		}
+	}
+	for i, spec := range specs {
+		row := []string{spec.Name, fmt.Sprintf("%.2f", spec.HashShare*100)}
+		for hi := range horizons {
+			row = append(row, fmt.Sprintf("%.3f", vpbs[i][hi]))
+		}
+		theory := economics.PaperProviderModel(spec.HashShare, insurance).VPB(10 * time.Minute)
+		row = append(row, fmt.Sprintf("%.3f", theory))
+		r.Rows = append(r.Rows, row)
+	}
+
+	// Shape 1: VPB increases with hashing power. Mining over these short
+	// horizons is probabilistic (the paper makes the same caveat for
+	// Fig. 4(a)), so the ordering check uses each provider's VPB summed
+	// across horizons.
+	ordered := true
+	for i := 1; i < len(specs); i++ {
+		var prev, cur float64
+		for hi := range horizons {
+			prev += vpbs[i-1][hi]
+			cur += vpbs[i][hi]
+		}
+		if cur > prev {
+			ordered = false
+		}
+	}
+	r.check(ordered, "higher hashing power ⇒ larger VPB (summed across horizons)")
+
+	// Shape 2: VPB increases with horizon for every provider.
+	growing := true
+	for i := range specs {
+		for hi := 1; hi < len(horizons); hi++ {
+			if vpbs[i][hi] <= vpbs[i][hi-1] {
+				growing = false
+			}
+		}
+	}
+	r.check(growing, "longer horizon ⇒ larger VPB")
+
+	// Shape 3: the paper's anchor — 14.9% HP at 10 min lands near 0.038.
+	anchor := vpbs[2][0]
+	r.check(math.Abs(anchor-0.038) < 0.015,
+		"VPB(14.9%%, 10 min) = %.3f (paper: 0.038)", anchor)
+	return r, nil
+}
+
+// Fig5b regenerates Fig. 5(b): the balance of the 14.9%-HP provider with
+// 1000-ether insurance over 10 minutes, releasing systems at VP = VPB,
+// VPB+0.01 and VPB−0.01. The paper: breakeven at VPB, ≈10 ether profit at
+// VPB−0.01, ≈10 ether loss at VPB+0.01.
+func Fig5b(scale Scale) (*Report, error) {
+	const (
+		providerIdx = 2 // 14.9% HP
+		insurance   = 1000.0
+		vpb         = 0.038 // paper anchor (validated by Fig5a)
+	)
+	trials := 5
+	if scale == Full {
+		trials = 20
+	}
+	horizon := 10 * time.Minute
+
+	vps := []struct {
+		label string
+		vp    float64
+	}{
+		{"VPB-0.01", vpb - 0.01},
+		{"VPB", vpb},
+		{"VPB+0.01", vpb + 0.01},
+	}
+
+	r := &Report{
+		ID:      "fig5b",
+		Title:   "Provider balance at VPB and VPB±0.01 (14.9% HP, 10 min)",
+		Headers: []string{"VP", "Incentives (ETH)", "Punishments (ETH)", "Balance (ETH)"},
+		ShapeOK: true,
+	}
+
+	balances := make([]float64, len(vps))
+	for vi, v := range vps {
+		var inc, pun float64
+		for trial := 0; trial < trials; trial++ {
+			numVulns := int(math.Round(v.vp * insurance / 5))
+			// Common random numbers: the same seed across the three VP
+			// settings pins the mining sequence, so the balance deltas
+			// isolate the punishment effect — the quantity Fig. 5(b)
+			// reports.
+			res, err := sim.Run(sim.Config{
+				Seed:      551 + int64(trial),
+				Providers: paperProviderSpecs(),
+				Detectors: []sim.DetectorSpec{
+					{Name: "d1", Threads: 4}, {Name: "d2", Threads: 8},
+				},
+				Releases: []sim.ReleaseSpec{{
+					Provider: providerIdx, At: 30 * time.Second,
+					Insurance: types.EtherAmount(1000), Bounty: types.EtherAmount(5),
+					NumVulns: numVulns,
+				}},
+				Horizon:      horizon,
+				MeanFindTime: 30 * time.Second,
+			})
+			if err != nil {
+				return nil, err
+			}
+			bal := res.ProviderBalance(providerIdx)
+			inc += (bal.Mining + bal.Fees).Ether()
+			pun += (bal.Punishment + bal.Gas).Ether()
+		}
+		inc /= float64(trials)
+		pun /= float64(trials)
+		balances[vi] = inc - pun
+		r.Rows = append(r.Rows, []string{
+			v.label,
+			fmt.Sprintf("%.1f", inc),
+			fmt.Sprintf("%.1f", pun),
+			fmt.Sprintf("%+.1f", inc-pun),
+		})
+	}
+
+	r.check(balances[0] > balances[1] && balances[1] > balances[2],
+		"balance decreases as VP rises across VPB−0.01 → VPB → VPB+0.01")
+	r.check(math.Abs(balances[1]) < 12,
+		"balance at VPB ≈ 0 (measured %+.1f ETH)", balances[1])
+	swing := balances[0] - balances[2]
+	r.check(math.Abs(swing-20) < 10,
+		"±0.01 VP swings the balance by ≈ ±10 ETH (measured total swing %.1f)", swing)
+	r.note("paper: \"IoT providers can obtain an additional 10 ethers when the VP is reduced by 0.01\"")
+	return r, nil
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/smartcrowd/smartcrowd/internal/detection"
+)
+
+// Table1 regenerates Table I: the detection results of two IoT apps
+// (Samsung Connect, Samsung Smart Home) across six third-party services,
+// demonstrating that centralized services produce inconsistent, partially
+// overlapping results — the motivation for SmartCrowd's crowdsourced
+// detection.
+func Table1(Scale) (*Report, error) {
+	apps := detection.TableIApps()
+	services := detection.TableIServices()
+
+	r := &Report{
+		ID:      "tab1",
+		Title:   "Detection results of two IoT apps by third-party services",
+		Headers: []string{"Service", "Connect H", "Connect M", "Connect L", "SmartHome H", "SmartHome M", "SmartHome L"},
+		ShapeOK: true,
+	}
+
+	scans := make(map[string]map[string][]detection.Detection, len(services))
+	for _, svc := range services {
+		scans[svc.Name] = make(map[string][]detection.Detection, len(apps))
+		row := []string{svc.Name}
+		for _, app := range apps {
+			ds := svc.Scan(app)
+			scans[svc.Name][app.Name] = ds
+			counts := detection.CountBySeverity(ds)
+			row = append(row,
+				fmt.Sprintf("%d", counts[0]),
+				fmt.Sprintf("%d", counts[1]),
+				fmt.Sprintf("%d", counts[2]))
+		}
+		r.Rows = append(r.Rows, row)
+	}
+
+	// Shape 1: counts match the paper exactly.
+	exact := true
+	for _, svc := range services {
+		for _, app := range apps {
+			got := detection.CountBySeverity(scans[svc.Name][app.Name])
+			if got != svc.Counts[app.Name] {
+				exact = false
+			}
+		}
+	}
+	r.check(exact, "per-service counts match Table I exactly")
+
+	// Shape 2: non-trivial services overlap only partially (the paper:
+	// "share very limited commonality").
+	partial := true
+	var worst float64
+	for _, app := range apps {
+		for i := 0; i < len(services); i++ {
+			for j := i + 1; j < len(services); j++ {
+				a := scans[services[i].Name][app.Name]
+				b := scans[services[j].Name][app.Name]
+				if len(a) == 0 || len(b) == 0 {
+					continue
+				}
+				o := detection.Overlap(services[i].Name, a, services[j].Name, b)
+				if jac := o.Jaccard(); jac > worst {
+					worst = jac
+				}
+				if o.Jaccard() >= 0.9 {
+					partial = false
+				}
+			}
+		}
+	}
+	r.check(partial, "pairwise Jaccard overlap ≤ 0.9 (worst %.2f): results are partial and inconsistent", worst)
+	r.note("paper: per-service findings differ so much that no single service is a complete reference")
+	return r, nil
+}

@@ -1,0 +1,493 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/smartcrowd/smartcrowd/internal/contract"
+	"github.com/smartcrowd/smartcrowd/internal/pow"
+	"github.com/smartcrowd/smartcrowd/internal/state"
+	"github.com/smartcrowd/smartcrowd/internal/types"
+)
+
+// Config parameterizes a SmartCrowd chain.
+type Config struct {
+	// BlockReward is χ·ν of Eq. 8 — the paper awards 5 ether per block.
+	BlockReward types.Amount
+	// Confirmations is the depth at which a block is final for protocol
+	// purposes; the paper uses Bitcoin's 6.
+	Confirmations uint64
+	// Contract is the SmartCrowd contract wired into execution.
+	Contract *contract.Contract
+	// BlockGasLimit caps total gas per block (0 = unlimited).
+	BlockGasLimit uint64
+	// SkipPoWCheck disables the PoW predicate for simulated chains whose
+	// sealing is sampled rather than ground (the SimSealer). Fork choice
+	// still uses declared difficulties.
+	SkipPoWCheck bool
+	// EnforceDifficulty makes block difficulty a consensus rule: each
+	// block must declare exactly the retargeted difficulty derived from
+	// its parent via DifficultyRule. Live (CPU-mined) chains enable this;
+	// simulated chains pin the paper's fixed 0xf00000.
+	EnforceDifficulty bool
+	// DifficultyRule is the retargeting rule when EnforceDifficulty is
+	// set (zero value = pow.DefaultDifficultyConfig()).
+	DifficultyRule pow.DifficultyConfig
+	// StateHistory bounds how many recent canonical blocks keep their
+	// post-state in memory (0 = keep everything). Older states are pruned
+	// and rebuilt by re-execution on demand — long simulations stay
+	// memory-bounded without losing queryability.
+	StateHistory int
+	// Alloc pre-funds accounts in the genesis state.
+	Alloc map[types.Address]types.Amount
+}
+
+// ExpectedDifficulty returns the difficulty a child of parent sealed at
+// childTimeMillis must declare under the chain's retargeting rule.
+func (cfg Config) ExpectedDifficulty(parent *types.Header, childTimeMillis uint64) uint64 {
+	rule := cfg.DifficultyRule
+	if rule == (pow.DifficultyConfig{}) {
+		rule = pow.DefaultDifficultyConfig()
+	}
+	if parent.Number == 0 && parent.Difficulty == 0 {
+		return rule.Minimum // first block after a difficulty-less genesis
+	}
+	return pow.NextDifficulty(rule, parent.Difficulty, parent.Time/1000, childTimeMillis/1000)
+}
+
+// DefaultConfig mirrors the paper's testnet: 5-ether block rewards and
+// 6-block confirmation.
+func DefaultConfig(c *contract.Contract) Config {
+	return Config{
+		BlockReward:   types.EtherAmount(5),
+		Confirmations: 6,
+		Contract:      c,
+		BlockGasLimit: 100_000_000,
+	}
+}
+
+// Chain errors.
+var (
+	ErrUnknownParent = errors.New("chain: unknown parent block")
+	ErrKnownBlock    = errors.New("chain: block already known")
+	ErrBadNumber     = errors.New("chain: block number not parent+1")
+	ErrBadTimestamp  = errors.New("chain: timestamp not after parent")
+	ErrStateMismatch = errors.New("chain: state root mismatch")
+	ErrUnknownBlock  = errors.New("chain: unknown block")
+	ErrBadDifficulty = errors.New("chain: block difficulty violates the retarget rule")
+)
+
+// entry is a stored block with its execution artifacts.
+type entry struct {
+	block    *types.Block
+	parent   *entry
+	totalDif uint64
+	post     *state.DB
+	receipts []*Receipt
+}
+
+// txLoc locates a transaction on the canonical chain.
+type txLoc struct {
+	blockID types.Hash
+	number  uint64
+	receipt *Receipt
+}
+
+// Chain is the block store plus fork choice. It is safe for concurrent
+// use.
+type Chain struct {
+	mu      sync.RWMutex
+	cfg     Config
+	genesis *entry
+	entries map[types.Hash]*entry
+	head    *entry
+	canon   []*entry // canonical chain, canon[i].block.Header.Number == i
+	txIndex map[types.Hash]txLoc
+}
+
+// New creates a chain with a genesis block derived from the config's
+// allocation.
+func New(cfg Config) (*Chain, error) {
+	if cfg.Contract == nil {
+		return nil, errors.New("chain: config requires a contract")
+	}
+	st := state.New()
+	for addr, amount := range cfg.Alloc {
+		if err := st.Credit(addr, amount); err != nil {
+			return nil, fmt.Errorf("chain: genesis alloc: %w", err)
+		}
+	}
+	genesis := &types.Block{
+		Header: types.Header{
+			Number:    0,
+			TxRoot:    types.ComputeTxRoot(nil),
+			StateRoot: st.Root(),
+		},
+	}
+	g := &entry{block: genesis, post: st}
+	c := &Chain{
+		cfg:     cfg,
+		genesis: g,
+		entries: map[types.Hash]*entry{genesis.ID(): g},
+		head:    g,
+		canon:   []*entry{g},
+		txIndex: make(map[types.Hash]txLoc),
+	}
+	return c, nil
+}
+
+// Config returns the chain configuration.
+func (c *Chain) Config() Config { return c.cfg }
+
+// Genesis returns the genesis block.
+func (c *Chain) Genesis() *types.Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.genesis.block
+}
+
+// Head returns the current canonical head block.
+func (c *Chain) Head() *types.Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.head.block
+}
+
+// HeadNumber returns the canonical height.
+func (c *Chain) HeadNumber() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.head.block.Header.Number
+}
+
+// TotalDifficulty returns the head's cumulative difficulty.
+func (c *Chain) TotalDifficulty() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.head.totalDif
+}
+
+// State returns a copy of the state at the canonical head.
+func (c *Chain) State() *state.DB {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.head.post.Copy()
+}
+
+// StateAt returns a copy of the post-state of the given block, rebuilding
+// it by re-execution when it was pruned under StateHistory.
+func (c *Chain) StateAt(id types.Hash) (*state.DB, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownBlock, id.Short())
+	}
+	st, err := c.stateOfLocked(e)
+	if err != nil {
+		return nil, err
+	}
+	return st.Copy(), nil
+}
+
+// stateOfLocked returns (possibly rebuilding) an entry's post-state.
+// Callers hold the write lock.
+func (c *Chain) stateOfLocked(e *entry) (*state.DB, error) {
+	if e.post != nil {
+		return e.post, nil
+	}
+	// Walk back to the nearest ancestor that still has a state.
+	var pending []*entry
+	cursor := e
+	for cursor.post == nil {
+		pending = append(pending, cursor)
+		cursor = cursor.parent
+		if cursor == nil {
+			return nil, errors.New("chain: pruned state with no materialized ancestor")
+		}
+	}
+	st := cursor.post.Copy()
+	for i := len(pending) - 1; i >= 0; i-- {
+		if _, err := execBlock(c.cfg, st, pending[i].block); err != nil {
+			return nil, fmt.Errorf("chain: rebuild pruned state: %w", err)
+		}
+	}
+	e.post = st
+	return st, nil
+}
+
+// BlockByID returns a known block.
+func (c *Chain) BlockByID(id types.Hash) (*types.Block, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.entries[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownBlock, id.Short())
+	}
+	return e.block, nil
+}
+
+// BlockByNumber returns the canonical block at a height.
+func (c *Chain) BlockByNumber(n uint64) (*types.Block, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if n >= uint64(len(c.canon)) {
+		return nil, fmt.Errorf("%w: height %d beyond head %d", ErrUnknownBlock, n, len(c.canon)-1)
+	}
+	return c.canon[n].block, nil
+}
+
+// HasBlock reports whether the block is known (canonical or not).
+func (c *Chain) HasBlock(id types.Hash) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.entries[id]
+	return ok
+}
+
+// InsertBlock validates, executes and stores a block, switching the head
+// when the new branch has greater total difficulty. It returns true when
+// the canonical head changed.
+func (c *Chain) InsertBlock(blk *types.Block) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	id := blk.ID()
+	if _, known := c.entries[id]; known {
+		return false, fmt.Errorf("%w: %s", ErrKnownBlock, id.Short())
+	}
+	parent, ok := c.entries[blk.Header.ParentID]
+	if !ok {
+		return false, fmt.Errorf("%w: %s", ErrUnknownParent, blk.Header.ParentID.Short())
+	}
+	if blk.Header.Number != parent.block.Header.Number+1 {
+		return false, fmt.Errorf("%w: parent %d, block %d", ErrBadNumber,
+			parent.block.Header.Number, blk.Header.Number)
+	}
+	if blk.Header.Time <= parent.block.Header.Time {
+		return false, fmt.Errorf("%w: parent %d, block %d", ErrBadTimestamp,
+			parent.block.Header.Time, blk.Header.Time)
+	}
+	if c.cfg.EnforceDifficulty {
+		want := c.cfg.ExpectedDifficulty(&parent.block.Header, blk.Header.Time)
+		if blk.Header.Difficulty != want {
+			return false, fmt.Errorf("%w: declared %d, retarget rule requires %d",
+				ErrBadDifficulty, blk.Header.Difficulty, want)
+		}
+	}
+	if err := c.verifyShape(blk); err != nil {
+		return false, err
+	}
+
+	parentState, err := c.stateOfLocked(parent)
+	if err != nil {
+		return false, err
+	}
+	st := parentState.Copy()
+	receipts, err := execBlock(c.cfg, st, blk)
+	if err != nil {
+		return false, err
+	}
+	if st.Root() != blk.Header.StateRoot {
+		return false, fmt.Errorf("%w: computed %s, header %s",
+			ErrStateMismatch, st.Root().Short(), blk.Header.StateRoot.Short())
+	}
+
+	e := &entry{
+		block:    blk,
+		parent:   parent,
+		totalDif: parent.totalDif + blk.Header.Difficulty,
+		post:     st,
+		receipts: receipts,
+	}
+	c.entries[id] = e
+
+	if e.totalDif > c.head.totalDif {
+		c.setHead(e)
+		c.pruneStatesLocked()
+		return true, nil
+	}
+	return false, nil
+}
+
+// pruneStatesLocked drops post-states of canonical blocks deeper than
+// StateHistory (genesis always stays as the re-execution base). Callers
+// hold the write lock.
+func (c *Chain) pruneStatesLocked() {
+	if c.cfg.StateHistory <= 0 {
+		return
+	}
+	head := c.head.block.Header.Number
+	if head <= uint64(c.cfg.StateHistory) {
+		return
+	}
+	cutoff := head - uint64(c.cfg.StateHistory)
+	for n := uint64(1); n < cutoff && n < uint64(len(c.canon)); n++ {
+		c.canon[n].post = nil
+	}
+}
+
+// verifyShape runs the stateless checks, optionally skipping the PoW
+// predicate for simulated chains.
+func (c *Chain) verifyShape(blk *types.Block) error {
+	if c.cfg.SkipPoWCheck {
+		if types.ComputeTxRoot(blk.Txs) != blk.Header.TxRoot {
+			return types.ErrBlockBadTxRoot
+		}
+		for i, tx := range blk.Txs {
+			if err := tx.ValidateBasic(); err != nil {
+				return fmt.Errorf("chain: block tx %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+	return blk.VerifyShape()
+}
+
+// setHead switches the canonical chain to the branch ending at e and
+// rebuilds the transaction index across the changed suffix.
+func (c *Chain) setHead(e *entry) {
+	// Build the new canonical path back to a block already canonical.
+	var path []*entry
+	cursor := e
+	for {
+		n := cursor.block.Header.Number
+		if n < uint64(len(c.canon)) && c.canon[n] == cursor {
+			break
+		}
+		path = append(path, cursor)
+		cursor = cursor.parent
+	}
+	forkPoint := cursor.block.Header.Number
+
+	// Remove receipts of the abandoned suffix.
+	for i := forkPoint + 1; i < uint64(len(c.canon)); i++ {
+		for _, tx := range c.canon[i].block.Txs {
+			delete(c.txIndex, tx.Hash())
+		}
+	}
+	c.canon = c.canon[:forkPoint+1]
+
+	// Append the new suffix (path is head→forkPoint+1, reverse it).
+	for i := len(path) - 1; i >= 0; i-- {
+		en := path[i]
+		c.canon = append(c.canon, en)
+		for j, tx := range en.block.Txs {
+			c.txIndex[tx.Hash()] = txLoc{
+				blockID: en.block.ID(),
+				number:  en.block.Header.Number,
+				receipt: en.receipts[j],
+			}
+		}
+	}
+	c.head = e
+}
+
+// ReceiptOf returns the canonical receipt of a transaction.
+func (c *Chain) ReceiptOf(txHash types.Hash) (*Receipt, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	loc, ok := c.txIndex[txHash]
+	if !ok {
+		return nil, fmt.Errorf("%w: tx %s not on canonical chain", ErrUnknownBlock, txHash.Short())
+	}
+	return loc.receipt, nil
+}
+
+// Confirmations returns how many blocks deep a transaction is (1 = in the
+// head block), or 0 if it is not canonical.
+func (c *Chain) Confirmations(txHash types.Hash) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	loc, ok := c.txIndex[txHash]
+	if !ok {
+		return 0
+	}
+	return c.head.block.Header.Number - loc.number + 1
+}
+
+// Confirmed reports whether a transaction has reached the configured
+// confirmation depth (the paper's 6-block rule).
+func (c *Chain) Confirmed(txHash types.Hash) bool {
+	return c.Confirmations(txHash) >= c.cfg.Confirmations
+}
+
+// CanonicalBlocks returns the canonical chain (including genesis).
+func (c *Chain) CanonicalBlocks() []*types.Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*types.Block, len(c.canon))
+	for i, e := range c.canon {
+		out[i] = e.block
+	}
+	return out
+}
+
+// DetectionRecord pairs a report transaction with its canonical receipt —
+// the consumer-facing "authoritative reference" (paper §IV-A).
+type DetectionRecord struct {
+	BlockNumber uint64
+	Tx          *types.Transaction
+	Receipt     *Receipt
+}
+
+// DetectionResults walks the canonical chain and returns every detection
+// report recorded for the given SRA, in chain order.
+func (c *Chain) DetectionResults(sraID types.Hash) []DetectionRecord {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []DetectionRecord
+	for _, e := range c.canon {
+		for j, tx := range e.block.Txs {
+			var match bool
+			switch tx.Kind {
+			case types.TxInitialReport:
+				if r, err := tx.InitialReport(); err == nil && r.SRAID == sraID {
+					match = true
+				}
+			case types.TxDetailedReport:
+				if r, err := tx.DetailedReport(); err == nil && r.SRAID == sraID {
+					match = true
+				}
+			}
+			if match {
+				out = append(out, DetectionRecord{
+					BlockNumber: e.block.Header.Number,
+					Tx:          tx,
+					Receipt:     e.receipts[j],
+				})
+			}
+		}
+	}
+	return out
+}
+
+// BuildBlock executes txs on top of the given parent and returns an
+// unsealed block with correct roots, ready for a sealer to find the nonce.
+// Invalid transactions cause an error; miners filter their pool first.
+func (c *Chain) BuildBlock(parentID types.Hash, miner types.Address, timestamp, difficulty uint64, txs []*types.Transaction) (*types.Block, error) {
+	c.mu.RLock()
+	parent, ok := c.entries[parentID]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownParent, parentID.Short())
+	}
+	st := parent.post.Copy()
+	blk := &types.Block{
+		Header: types.Header{
+			ParentID:   parentID,
+			Number:     parent.block.Header.Number + 1,
+			Time:       timestamp,
+			Difficulty: difficulty,
+			Miner:      miner,
+			TxRoot:     types.ComputeTxRoot(txs),
+		},
+		Txs: txs,
+	}
+	if _, err := execBlock(c.cfg, st, blk); err != nil {
+		return nil, err
+	}
+	blk.Header.StateRoot = st.Root()
+	return blk, nil
+}

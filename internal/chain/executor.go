@@ -1,0 +1,298 @@
+// Package chain implements the SmartCrowd blockchain: block execution with
+// the SmartCrowd contract wired into the state-transition function,
+// longest-chain (total difficulty) fork choice, reorganizations, and the
+// 6-block confirmation rule the paper adopts from Bitcoin (§V-C).
+package chain
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/smartcrowd/smartcrowd/internal/contract"
+	"github.com/smartcrowd/smartcrowd/internal/state"
+	"github.com/smartcrowd/smartcrowd/internal/types"
+	"github.com/smartcrowd/smartcrowd/internal/vm"
+)
+
+// Receipt records the canonical outcome of one transaction.
+type Receipt struct {
+	// TxHash identifies the transaction.
+	TxHash types.Hash
+	// Kind mirrors the transaction kind.
+	Kind types.TxKind
+	// Success is false when the protocol action or contract execution
+	// failed; gas is charged either way.
+	Success bool
+	// Err is the failure description (empty on success).
+	Err string
+	// GasUsed is the gas the transaction consumed.
+	GasUsed uint64
+	// Fee is the amount paid to the mining provider (ψ in Eq. 8).
+	Fee types.Amount
+	// Payout carries the incentive allocation for detailed reports.
+	Payout contract.Payout
+	// ContractAddress is set for successful contract creations.
+	ContractAddress types.Address
+	// Logs are contract events.
+	Logs []vm.Log
+}
+
+// Execution errors that make an entire block invalid (consensus rules).
+var (
+	ErrBadNonce       = errors.New("chain: transaction nonce out of order")
+	ErrUnaffordableTx = errors.New("chain: sender cannot cover value plus max fee")
+	ErrGasLimitTooLow = errors.New("chain: transaction gas limit below intrinsic requirement")
+	ErrBlockGasLimit  = errors.New("chain: block exceeds gas limit")
+)
+
+// executor applies transactions to a state.
+type executor struct {
+	cfg   Config
+	st    *state.DB
+	block vm.BlockContext
+	miner types.Address
+}
+
+// execBlock runs every transaction of a block against st (mutating it),
+// credits the miner, and returns receipts. It enforces the consensus
+// validity rules: nonces in order, senders solvent, gas limits sufficient.
+func execBlock(cfg Config, st *state.DB, blk *types.Block) ([]*Receipt, error) {
+	ex := &executor{
+		cfg:   cfg,
+		st:    st,
+		block: vm.BlockContext{Number: blk.Header.Number, Time: blk.Header.Time},
+		miner: blk.Header.Miner,
+	}
+	receipts := make([]*Receipt, 0, len(blk.Txs))
+	var gasUsed uint64
+	for i, tx := range blk.Txs {
+		r, err := ex.applyTx(tx)
+		if err != nil {
+			return nil, fmt.Errorf("chain: block %d tx %d: %w", blk.Header.Number, i, err)
+		}
+		gasUsed += r.GasUsed
+		if cfg.BlockGasLimit > 0 && gasUsed > cfg.BlockGasLimit {
+			return nil, fmt.Errorf("%w: %d > %d", ErrBlockGasLimit, gasUsed, cfg.BlockGasLimit)
+		}
+		receipts = append(receipts, r)
+	}
+	// Block reward (χ·ν of Eq. 8): fees were credited per-tx.
+	if err := st.Credit(blk.Header.Miner, cfg.BlockReward); err != nil {
+		return nil, fmt.Errorf("chain: credit block reward: %w", err)
+	}
+	st.DiscardSnapshots()
+	return receipts, nil
+}
+
+// requiredGas returns the gas a transaction consumes when its protocol
+// action succeeds. Contract create/call gas is dynamic and handled in
+// applyTx.
+func (ex *executor) requiredGas(tx *types.Transaction) uint64 {
+	params := ex.cfg.Contract.Params()
+	switch tx.Kind {
+	case types.TxTransfer:
+		return vm.GasTxBase
+	case types.TxSRA:
+		return params.GasSRA
+	case types.TxInitialReport:
+		return params.GasInitialReport
+	case types.TxDetailedReport:
+		return params.GasDetailedReport
+	default:
+		return vm.IntrinsicGas(tx.Data, tx.Kind == types.TxContractCreate)
+	}
+}
+
+// applyTx applies one transaction. A returned error invalidates the whole
+// block; protocol/VM failures are recorded in the receipt instead.
+func (ex *executor) applyTx(tx *types.Transaction) (*Receipt, error) {
+	sender, err := tx.Sender()
+	if err != nil {
+		return nil, err
+	}
+	if got := ex.st.Nonce(sender); got != tx.Nonce {
+		return nil, fmt.Errorf("%w: have %d, tx %d", ErrBadNonce, got, tx.Nonce)
+	}
+	if ex.st.Balance(sender) < tx.Cost() {
+		return nil, fmt.Errorf("%w: balance %s, cost %s", ErrUnaffordableTx,
+			ex.st.Balance(sender), tx.Cost())
+	}
+	needed := ex.requiredGas(tx)
+	if tx.GasLimit < needed {
+		return nil, fmt.Errorf("%w: limit %d, need %d", ErrGasLimitTooLow, tx.GasLimit, needed)
+	}
+
+	ex.st.SetNonce(sender, tx.Nonce+1)
+
+	receipt := &Receipt{TxHash: tx.Hash(), Kind: tx.Kind, Success: true, GasUsed: needed}
+	snap := ex.st.Snapshot()
+	fail := func(cause error) {
+		if revertErr := ex.st.RevertToSnapshot(snap); revertErr != nil {
+			panic("chain: snapshot revert failed: " + revertErr.Error())
+		}
+		// Nonce bump survives failure, as in Ethereum.
+		ex.st.SetNonce(sender, tx.Nonce+1)
+		receipt.Success = false
+		receipt.Err = cause.Error()
+		receipt.GasUsed = tx.GasLimit // failed actions burn the gas limit
+	}
+
+	switch tx.Kind {
+	case types.TxTransfer:
+		if err := ex.st.Transfer(sender, tx.To, tx.Value); err != nil {
+			fail(err)
+		}
+
+	case types.TxSRA:
+		sra, err := tx.SRA()
+		if err != nil {
+			return nil, err // unparseable payloads invalidate the block
+		}
+		if err := ex.st.Transfer(sender, contract.Address, tx.Value); err != nil {
+			fail(err)
+			break
+		}
+		if err := ex.cfg.Contract.ApplySRA(ex.st, ex.block.Number, sra); err != nil {
+			fail(err)
+		}
+
+	case types.TxInitialReport:
+		r, err := tx.InitialReport()
+		if err != nil {
+			return nil, err
+		}
+		if err := ex.cfg.Contract.ApplyInitialReport(ex.st, ex.block.Number, r); err != nil {
+			fail(err)
+		}
+
+	case types.TxDetailedReport:
+		r, err := tx.DetailedReport()
+		if err != nil {
+			return nil, err
+		}
+		payout, err := ex.cfg.Contract.ApplyDetailedReport(ex.st, ex.block.Number, r)
+		if err != nil {
+			fail(err)
+		} else {
+			receipt.Payout = payout
+		}
+
+	case types.TxContractCreate:
+		ex.execCreate(tx, sender, receipt, fail)
+
+	case types.TxContractCall:
+		ex.execCall(tx, sender, receipt, fail)
+
+	default:
+		return nil, types.ErrTxBadKind
+	}
+
+	// Fee to the mining provider (ψ·ω of Eq. 8).
+	fee := types.Amount(receipt.GasUsed) * tx.GasPrice
+	if err := ex.st.Transfer(sender, ex.miner, fee); err != nil {
+		// Unreachable: cost check above reserved GasLimit×price ≥ fee.
+		return nil, fmt.Errorf("chain: fee transfer: %w", err)
+	}
+	receipt.Fee = fee
+	return receipt, nil
+}
+
+// CreateAddress derives a deployed contract's address from its creator and
+// nonce, as Ethereum does.
+func CreateAddress(creator types.Address, nonce uint64) types.Address {
+	var nb [8]byte
+	for i := 0; i < 8; i++ {
+		nb[i] = byte(nonce >> (56 - 8*i))
+	}
+	h := types.HashConcat(creator[:], nb[:])
+	var a types.Address
+	copy(a[:], h[12:])
+	return a
+}
+
+func (ex *executor) execCreate(tx *types.Transaction, sender types.Address, receipt *Receipt, fail func(error)) {
+	intrinsic := vm.IntrinsicGas(tx.Data, true)
+	if tx.GasLimit < intrinsic {
+		fail(ErrGasLimitTooLow)
+		return
+	}
+	addr := CreateAddress(sender, tx.Nonce)
+	if tx.Value > 0 {
+		if err := ex.st.Transfer(sender, addr, tx.Value); err != nil {
+			fail(err)
+			return
+		}
+	}
+	machine := vm.New(ex.st, ex.block)
+	res, err := machine.Execute(tx.Data, vm.CallContext{
+		Caller:   sender,
+		Contract: addr,
+		Value:    tx.Value,
+		GasLimit: tx.GasLimit - intrinsic,
+	})
+	receipt.GasUsed = intrinsic + res.GasUsed
+	if err != nil {
+		fail(err)
+		return
+	}
+	if res.Reverted {
+		fail(vm.ErrRevert)
+		return
+	}
+	depositGas := uint64(len(res.ReturnData)) * vm.GasCodeDepositByte
+	if receipt.GasUsed+depositGas > tx.GasLimit {
+		fail(vm.ErrOutOfGas)
+		return
+	}
+	receipt.GasUsed += depositGas
+	ex.st.SetCode(addr, res.ReturnData)
+	receipt.ContractAddress = addr
+	receipt.Logs = res.Logs
+}
+
+func (ex *executor) execCall(tx *types.Transaction, sender types.Address, receipt *Receipt, fail func(error)) {
+	// Calls addressed to the SmartCrowd contract dispatch to the native
+	// implementation (e.g. insurance refunds after the detection window).
+	if tx.To == contract.Address {
+		receipt.GasUsed = ex.cfg.Contract.Params().GasRefund
+		if tx.GasLimit < receipt.GasUsed {
+			fail(ErrGasLimitTooLow)
+			return
+		}
+		if _, err := ex.cfg.Contract.Call(ex.st, ex.block.Number, sender, tx.Data); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	intrinsic := vm.IntrinsicGas(tx.Data, false)
+	if tx.GasLimit < intrinsic {
+		fail(ErrGasLimitTooLow)
+		return
+	}
+	if tx.Value > 0 {
+		if err := ex.st.Transfer(sender, tx.To, tx.Value); err != nil {
+			fail(err)
+			return
+		}
+	}
+	code := ex.st.Code(tx.To)
+	machine := vm.New(ex.st, ex.block)
+	res, err := machine.Execute(code, vm.CallContext{
+		Caller:   sender,
+		Contract: tx.To,
+		Value:    tx.Value,
+		Input:    tx.Data,
+		GasLimit: tx.GasLimit - intrinsic,
+	})
+	receipt.GasUsed = intrinsic + res.GasUsed
+	if err != nil {
+		fail(err)
+		return
+	}
+	if res.Reverted {
+		fail(vm.ErrRevert)
+		return
+	}
+	receipt.Logs = res.Logs
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/smartcrowd/smartcrowd/internal/detection"
+	"github.com/smartcrowd/smartcrowd/internal/types"
+)
+
+func TestRetrospectiveNotifications(t *testing.T) {
+	p := buildPlatform(t)
+	img := detection.GenerateImage("deployed-fw", "1.0",
+		detection.UniverseSpec{High: 3, Medium: 2, Seed: 66})
+	sra, err := p.Release(0, img, types.EtherAmount(1000), types.EtherAmount(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The consumer deployed the system right away and subscribes before
+	// any detection results exist.
+	if err := p.Subscribe("consumer-1", sra.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Detection happens retrospectively over the next blocks.
+	totalNotified := uint64(0)
+	var lastTotal uint64
+	for i := 0; i < 7; i++ {
+		if _, err := p.Mine(i % 2); err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range p.Notifications() {
+			if n.Subscriber != "consumer-1" || n.SRAID != sra.ID {
+				t.Errorf("misrouted notification %+v", n)
+			}
+			if n.NewVulns == 0 {
+				t.Error("notification with zero new vulnerabilities")
+			}
+			totalNotified += n.NewVulns
+			lastTotal = n.TotalVulns
+		}
+	}
+
+	ref, err := p.Reference(sra.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.ConfirmedVulns == 0 {
+		t.Fatal("nothing confirmed; scenario broken")
+	}
+	if totalNotified != ref.ConfirmedVulns {
+		t.Errorf("notified about %d vulns, chain has %d", totalNotified, ref.ConfirmedVulns)
+	}
+	if lastTotal != ref.ConfirmedVulns {
+		t.Errorf("running total %d, chain has %d", lastTotal, ref.ConfirmedVulns)
+	}
+
+	// No further findings → no further notifications.
+	if _, err := p.Mine(0); err != nil {
+		t.Fatal(err)
+	}
+	if extra := p.Notifications(); len(extra) != 0 {
+		t.Errorf("spurious notifications: %+v", extra)
+	}
+}
+
+func TestSubscribeAcknowledgesExistingFindings(t *testing.T) {
+	p := buildPlatform(t)
+	img := detection.GenerateImage("late-fw", "1.0",
+		detection.UniverseSpec{High: 3, Seed: 67})
+	sra, err := p.Release(0, img, types.EtherAmount(1000), types.EtherAmount(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := p.Mine(i % 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Notifications() // drain anything pre-subscription (there is nothing)
+
+	ref, err := p.Reference(sra.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.ConfirmedVulns == 0 {
+		t.Fatal("scenario needs confirmed vulns")
+	}
+
+	// A late consumer who already read the reference subscribes with the
+	// current count acknowledged: silence unless something NEW appears.
+	if err := p.Subscribe("late-consumer", sra.ID, ref.ConfirmedVulns); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Mine(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Notifications(); len(got) != 0 {
+		t.Errorf("late subscriber notified about old findings: %+v", got)
+	}
+
+	// Another consumer subscribing from zero hears about everything.
+	if err := p.Subscribe("fresh-consumer", sra.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Mine(0); err != nil {
+		t.Fatal(err)
+	}
+	got := p.Notifications()
+	if len(got) != 1 || got[0].NewVulns != ref.ConfirmedVulns {
+		t.Errorf("fresh subscriber notifications: %+v", got)
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	p := NewPlatform(Config{Seed: 5})
+	ghost := types.HashBytes([]byte("ghost"))
+	if err := p.Subscribe("c", ghost, 0); !errors.Is(err, ErrNoProviders) {
+		t.Errorf("err = %v, want ErrNoProviders", err)
+	}
+	if _, err := p.AddProvider("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Subscribe("c", ghost, 0); !errors.Is(err, ErrUnknownSRA) {
+		t.Errorf("err = %v, want ErrUnknownSRA", err)
+	}
+}

@@ -1,0 +1,185 @@
+// Package keccak implements the Keccak-f[1600] sponge construction and the
+// two 256-bit hash flavours SmartCrowd needs: legacy Keccak-256 (as used by
+// Ethereum for addresses, transaction hashes and contract storage keys) and
+// FIPS-202 SHA3-256 (as referenced by the SmartCrowd paper for report
+// identifiers). The two differ only in the domain-separation padding byte.
+//
+// The implementation is self-contained (no external dependencies) and is
+// validated against published test vectors in keccak_test.go.
+package keccak
+
+import (
+	"encoding/binary"
+	"hash"
+)
+
+// Size is the digest size in bytes for both Keccak-256 and SHA3-256.
+const Size = 32
+
+// rate256 is the sponge rate in bytes for 256-bit output (1600-512 bits).
+const rate256 = 136
+
+// Domain-separation padding bytes. Legacy Keccak (pre-FIPS, used by
+// Ethereum) pads with 0x01; FIPS-202 SHA-3 pads with 0x06.
+const (
+	domainKeccak = 0x01
+	domainSHA3   = 0x06
+)
+
+// roundConstants are the 24 iota-step constants of Keccak-f[1600].
+var roundConstants = [24]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808a,
+	0x8000000080008000, 0x000000000000808b, 0x0000000080000001,
+	0x8000000080008081, 0x8000000000008009, 0x000000000000008a,
+	0x0000000000000088, 0x0000000080008009, 0x000000008000000a,
+	0x000000008000808b, 0x800000000000008b, 0x8000000000008089,
+	0x8000000000008003, 0x8000000000008002, 0x8000000000000080,
+	0x000000000000800a, 0x800000008000000a, 0x8000000080008081,
+	0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// rotationOffsets holds the rho-step rotation amount for lane (x, y),
+// indexed as x + 5y.
+var rotationOffsets = [25]uint{
+	0, 1, 62, 28, 27,
+	36, 44, 6, 55, 20,
+	3, 10, 43, 25, 39,
+	41, 45, 15, 21, 8,
+	18, 2, 61, 56, 14,
+}
+
+// permute applies the full 24-round Keccak-f[1600] permutation in place.
+func permute(a *[25]uint64) {
+	var b [25]uint64
+	var c, d [5]uint64
+	for round := 0; round < 24; round++ {
+		// theta
+		for x := 0; x < 5; x++ {
+			c[x] = a[x] ^ a[x+5] ^ a[x+10] ^ a[x+15] ^ a[x+20]
+		}
+		for x := 0; x < 5; x++ {
+			d[x] = c[(x+4)%5] ^ rotl(c[(x+1)%5], 1)
+		}
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				a[x+5*y] ^= d[x]
+			}
+		}
+		// rho and pi
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				b[y+5*((2*x+3*y)%5)] = rotl(a[x+5*y], rotationOffsets[x+5*y])
+			}
+		}
+		// chi
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				a[x+5*y] = b[x+5*y] ^ (^b[(x+1)%5+5*y] & b[(x+2)%5+5*y])
+			}
+		}
+		// iota
+		a[0] ^= roundConstants[round]
+	}
+}
+
+func rotl(v uint64, n uint) uint64 { return v<<n | v>>(64-n) }
+
+// digest is a streaming sponge for 256-bit output.
+type digest struct {
+	state  [25]uint64
+	buf    [rate256]byte
+	n      int // bytes buffered in buf
+	domain byte
+}
+
+var (
+	_ hash.Hash = (*digest)(nil)
+)
+
+// New256 returns a streaming legacy Keccak-256 hash (Ethereum flavour).
+func New256() hash.Hash { return &digest{domain: domainKeccak} }
+
+// NewSHA3256 returns a streaming FIPS-202 SHA3-256 hash.
+func NewSHA3256() hash.Hash { return &digest{domain: domainSHA3} }
+
+func (d *digest) Size() int      { return Size }
+func (d *digest) BlockSize() int { return rate256 }
+
+func (d *digest) Reset() {
+	d.state = [25]uint64{}
+	d.n = 0
+}
+
+func (d *digest) Write(p []byte) (int, error) {
+	written := len(p)
+	for len(p) > 0 {
+		n := copy(d.buf[d.n:], p)
+		d.n += n
+		p = p[n:]
+		if d.n == rate256 {
+			d.absorb()
+		}
+	}
+	return written, nil
+}
+
+// absorb XORs one full rate block into the state and permutes.
+func (d *digest) absorb() {
+	for i := 0; i < rate256/8; i++ {
+		d.state[i] ^= binary.LittleEndian.Uint64(d.buf[8*i:])
+	}
+	permute(&d.state)
+	d.n = 0
+}
+
+// Sum appends the digest to b without disturbing the running state.
+func (d *digest) Sum(b []byte) []byte {
+	// Work on a copy so callers can keep writing afterwards.
+	dc := *d
+	dc.buf[dc.n] = dc.domain
+	for i := dc.n + 1; i < rate256; i++ {
+		dc.buf[i] = 0
+	}
+	dc.buf[rate256-1] |= 0x80
+	for i := 0; i < rate256/8; i++ {
+		dc.state[i] ^= binary.LittleEndian.Uint64(dc.buf[8*i:])
+	}
+	permute(&dc.state)
+	var out [Size]byte
+	for i := 0; i < Size/8; i++ {
+		binary.LittleEndian.PutUint64(out[8*i:], dc.state[i])
+	}
+	return append(b, out[:]...)
+}
+
+// Sum256 computes the legacy Keccak-256 digest of data in one shot.
+func Sum256(data []byte) [Size]byte {
+	var out [Size]byte
+	d := digest{domain: domainKeccak}
+	_, _ = d.Write(data)
+	copy(out[:], d.Sum(nil))
+	return out
+}
+
+// SumSHA3256 computes the FIPS-202 SHA3-256 digest of data in one shot.
+func SumSHA3256(data []byte) [Size]byte {
+	var out [Size]byte
+	d := digest{domain: domainSHA3}
+	_, _ = d.Write(data)
+	copy(out[:], d.Sum(nil))
+	return out
+}
+
+// Sum256Concat hashes the concatenation of the given byte slices with
+// legacy Keccak-256. SmartCrowd identifiers (Eq. 1, 3 and 5 of the paper)
+// are hashes over field concatenations; this helper avoids intermediate
+// allocation at the call sites.
+func Sum256Concat(parts ...[]byte) [Size]byte {
+	d := digest{domain: domainKeccak}
+	for _, p := range parts {
+		_, _ = d.Write(p)
+	}
+	var out [Size]byte
+	copy(out[:], d.Sum(nil))
+	return out
+}

@@ -1,0 +1,152 @@
+package keccak
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// Published Keccak-256 (legacy / Ethereum) vectors.
+var keccakVectors = []struct {
+	in   string
+	want string
+}{
+	{"", "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"},
+	{"abc", "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"},
+}
+
+// SHA3-256 vectors generated with Python hashlib (FIPS 202).
+var sha3Vectors = []struct {
+	in   []byte
+	want string
+}{
+	{[]byte(""), "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"},
+	{[]byte("abc"), "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532"},
+	{[]byte("hello world"), "644bcc7e564373040999aac89e7622f3ca71fba1d972fd94a31c3bfbf24e3938"},
+	{[]byte("The quick brown fox jumps over the lazy dog"), "69070dda01975c8c120c3aada1b282394e7f032fa9cf32f4cb2259a0897dfc04"},
+	{iota200(), "5f728f63bf5ee48c77f453c0490398fa645b8d4c4e56be9a41cfec344d6ca899"},
+}
+
+func iota200() []byte {
+	b := make([]byte, 200)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	return b
+}
+
+func TestKeccak256Vectors(t *testing.T) {
+	for _, tc := range keccakVectors {
+		got := Sum256([]byte(tc.in))
+		if hex.EncodeToString(got[:]) != tc.want {
+			t.Errorf("Keccak256(%q) = %x, want %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSHA3256Vectors(t *testing.T) {
+	for _, tc := range sha3Vectors {
+		got := SumSHA3256(tc.in)
+		if hex.EncodeToString(got[:]) != tc.want {
+			t.Errorf("SHA3-256(%.10q...) = %x, want %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestStreamingMatchesOneShot checks that arbitrary write-splits produce the
+// same digest as a single Write.
+func TestStreamingMatchesOneShot(t *testing.T) {
+	f := func(data []byte, split uint8) bool {
+		h := New256()
+		k := int(split) % (len(data) + 1)
+		_, _ = h.Write(data[:k])
+		_, _ = h.Write(data[k:])
+		var one [Size]byte = Sum256(data)
+		return bytes.Equal(h.Sum(nil), one[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSumDoesNotDisturbState checks Sum can be called mid-stream.
+func TestSumDoesNotDisturbState(t *testing.T) {
+	h := New256()
+	_, _ = h.Write([]byte("part one "))
+	_ = h.Sum(nil)
+	_, _ = h.Write([]byte("part two"))
+	want := Sum256([]byte("part one part two"))
+	if !bytes.Equal(h.Sum(nil), want[:]) {
+		t.Error("Sum disturbed the running sponge state")
+	}
+}
+
+func TestResetRestoresInitialState(t *testing.T) {
+	h := New256()
+	_, _ = h.Write([]byte("garbage"))
+	h.Reset()
+	_, _ = h.Write([]byte("abc"))
+	want, _ := hex.DecodeString(keccakVectors[1].want)
+	if !bytes.Equal(h.Sum(nil), want) {
+		t.Error("Reset did not restore the initial state")
+	}
+}
+
+func TestSum256ConcatEqualsJoined(t *testing.T) {
+	f := func(a, b, c []byte) bool {
+		joined := Sum256(bytes.Join([][]byte{a, b, c}, nil))
+		split := Sum256Concat(a, b, c)
+		return joined == split
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDomainSeparation ensures Keccak-256 and SHA3-256 never collide on the
+// same input (different padding must yield different digests).
+func TestDomainSeparation(t *testing.T) {
+	f := func(data []byte) bool {
+		return Sum256(data) != SumSHA3256(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRateBoundaryLengths exercises inputs that land exactly on, just below
+// and just above the 136-byte sponge rate, where padding bugs hide.
+func TestRateBoundaryLengths(t *testing.T) {
+	for _, n := range []int{0, 1, 135, 136, 137, 271, 272, 273, 1000} {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i * 7)
+		}
+		h := New256()
+		_, _ = h.Write(data)
+		var one [Size]byte = Sum256(data)
+		if !bytes.Equal(h.Sum(nil), one[:]) {
+			t.Errorf("length %d: streaming != one-shot", n)
+		}
+	}
+}
+
+func TestHashInterfaceSizes(t *testing.T) {
+	h := New256()
+	if h.Size() != 32 {
+		t.Errorf("Size() = %d, want 32", h.Size())
+	}
+	if h.BlockSize() != 136 {
+		t.Errorf("BlockSize() = %d, want 136", h.BlockSize())
+	}
+}
+
+func BenchmarkKeccak256_1KiB(b *testing.B) {
+	data := make([]byte, 1024)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Sum256(data)
+	}
+}

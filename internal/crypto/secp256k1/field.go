@@ -1,0 +1,226 @@
+package secp256k1
+
+import "math/bits"
+
+// Fast fixed-width field arithmetic modulo the secp256k1 prime
+//
+//	p = 2²⁵⁶ − 2³² − 977 = 2²⁵⁶ − 0x1000003D1.
+//
+// Values are four 64-bit limbs, little-endian, always kept fully reduced
+// (< p). The special prime shape makes reduction cheap: any overflow c at
+// 2²⁵⁶ folds back as c·0x1000003D1. This is the same strategy
+// libsecp256k1 and btcec use; it replaces math/big on the hot secp256k1
+// paths (signing, verification, recovery) while the generic big.Int code
+// remains for arbitrary curves (P-256 differential testing).
+//
+// Everything here is differentially tested against math/big in
+// field_test.go. The code is not constant-time (see the package comment).
+
+// pFold is 2²⁵⁶ mod p.
+const pFold uint64 = 0x1000003D1
+
+// pLimbs is the prime p in little-endian limbs.
+var pLimbs = [4]uint64{
+	0xFFFFFFFEFFFFFC2F, 0xFFFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFF,
+}
+
+// fieldVal is an element of GF(p), fully reduced.
+type fieldVal struct {
+	n [4]uint64
+}
+
+// feIsZero reports whether a == 0.
+func (a *fieldVal) feIsZero() bool {
+	return a.n[0]|a.n[1]|a.n[2]|a.n[3] == 0
+}
+
+// feEqual reports whether a == b.
+func (a *fieldVal) feEqual(b *fieldVal) bool {
+	return a.n == b.n
+}
+
+// geqP reports whether the unreduced limb vector is ≥ p.
+func geqP(n *[4]uint64) bool {
+	if n[3] != pLimbs[3] {
+		return n[3] > pLimbs[3]
+	}
+	if n[2] != pLimbs[2] {
+		return n[2] > pLimbs[2]
+	}
+	if n[1] != pLimbs[1] {
+		return n[1] > pLimbs[1]
+	}
+	return n[0] >= pLimbs[0]
+}
+
+// subP subtracts p in place (caller guarantees the value is ≥ p).
+func subP(n *[4]uint64) {
+	var borrow uint64
+	n[0], borrow = bits.Sub64(n[0], pLimbs[0], 0)
+	n[1], borrow = bits.Sub64(n[1], pLimbs[1], borrow)
+	n[2], borrow = bits.Sub64(n[2], pLimbs[2], borrow)
+	n[3], _ = bits.Sub64(n[3], pLimbs[3], borrow)
+}
+
+// feSetBytes loads a 32-byte big-endian value, reducing mod p.
+func (a *fieldVal) feSetBytes(b *[32]byte) {
+	for i := 0; i < 4; i++ {
+		a.n[i] = uint64(b[31-8*i]) | uint64(b[30-8*i])<<8 |
+			uint64(b[29-8*i])<<16 | uint64(b[28-8*i])<<24 |
+			uint64(b[27-8*i])<<32 | uint64(b[26-8*i])<<40 |
+			uint64(b[25-8*i])<<48 | uint64(b[24-8*i])<<56
+	}
+	if geqP(&a.n) {
+		subP(&a.n)
+	}
+}
+
+// feBytes stores the value as 32 big-endian bytes.
+func (a *fieldVal) feBytes(out *[32]byte) {
+	for i := 0; i < 4; i++ {
+		limb := a.n[i]
+		out[31-8*i] = byte(limb)
+		out[30-8*i] = byte(limb >> 8)
+		out[29-8*i] = byte(limb >> 16)
+		out[28-8*i] = byte(limb >> 24)
+		out[27-8*i] = byte(limb >> 32)
+		out[26-8*i] = byte(limb >> 40)
+		out[25-8*i] = byte(limb >> 48)
+		out[24-8*i] = byte(limb >> 56)
+	}
+}
+
+// feAdd sets a = a + b mod p.
+func (a *fieldVal) feAdd(b *fieldVal) {
+	var carry uint64
+	a.n[0], carry = bits.Add64(a.n[0], b.n[0], 0)
+	a.n[1], carry = bits.Add64(a.n[1], b.n[1], carry)
+	a.n[2], carry = bits.Add64(a.n[2], b.n[2], carry)
+	a.n[3], carry = bits.Add64(a.n[3], b.n[3], carry)
+	if carry != 0 {
+		// Fold 2²⁵⁶ back in: add pFold. Since both inputs were < p,
+		// the folded value cannot overflow again past one extra fold.
+		var c uint64
+		a.n[0], c = bits.Add64(a.n[0], pFold, 0)
+		a.n[1], c = bits.Add64(a.n[1], 0, c)
+		a.n[2], c = bits.Add64(a.n[2], 0, c)
+		a.n[3], _ = bits.Add64(a.n[3], 0, c)
+	}
+	if geqP(&a.n) {
+		subP(&a.n)
+	}
+}
+
+// feSub sets a = a − b mod p.
+func (a *fieldVal) feSub(b *fieldVal) {
+	var borrow uint64
+	a.n[0], borrow = bits.Sub64(a.n[0], b.n[0], 0)
+	a.n[1], borrow = bits.Sub64(a.n[1], b.n[1], borrow)
+	a.n[2], borrow = bits.Sub64(a.n[2], b.n[2], borrow)
+	a.n[3], borrow = bits.Sub64(a.n[3], b.n[3], borrow)
+	if borrow != 0 {
+		// Went below zero: add p back (equivalently subtract pFold from
+		// the wrapped 2²⁵⁶ excess).
+		var c uint64
+		a.n[0], c = bits.Sub64(a.n[0], pFold, 0)
+		a.n[1], c = bits.Sub64(a.n[1], 0, c)
+		a.n[2], c = bits.Sub64(a.n[2], 0, c)
+		a.n[3], _ = bits.Sub64(a.n[3], 0, c)
+	}
+}
+
+// feNeg sets a = −a mod p.
+func (a *fieldVal) feNeg() {
+	if a.feIsZero() {
+		return
+	}
+	var borrow uint64
+	a.n[0], borrow = bits.Sub64(pLimbs[0], a.n[0], 0)
+	a.n[1], borrow = bits.Sub64(pLimbs[1], a.n[1], borrow)
+	a.n[2], borrow = bits.Sub64(pLimbs[2], a.n[2], borrow)
+	a.n[3], _ = bits.Sub64(pLimbs[3], a.n[3], borrow)
+}
+
+// feMulInto sets dst = a·b mod p.
+func feMulInto(dst, a, b *fieldVal) {
+	// Schoolbook 4×4 → 8 limbs.
+	var r [8]uint64
+	var carry uint64
+	for i := 0; i < 4; i++ {
+		carry = 0
+		ai := a.n[i]
+		for j := 0; j < 4; j++ {
+			hi, lo := bits.Mul64(ai, b.n[j])
+			var c1, c2 uint64
+			r[i+j], c1 = bits.Add64(r[i+j], lo, 0)
+			r[i+j], c2 = bits.Add64(r[i+j], carry, 0)
+			carry = hi + c1 + c2 // cannot overflow: hi ≤ 2⁶⁴−2
+		}
+		r[i+4] = carry
+	}
+	reduce512(dst, &r)
+}
+
+// feSqrInto sets dst = a² mod p.
+func feSqrInto(dst, a *fieldVal) {
+	feMulInto(dst, a, a)
+}
+
+// reduce512 folds a 512-bit product into a fully reduced field element:
+// value = lo + hi·2²⁵⁶ ≡ lo + hi·pFold (mod p), applied twice.
+func reduce512(dst *fieldVal, r *[8]uint64) {
+	// Round 1: fold r[4..7]·pFold into r[0..4] (result ≤ 320 bits).
+	var t [5]uint64
+	var carry uint64
+	for i := 0; i < 4; i++ {
+		hi, lo := bits.Mul64(r[4+i], pFold)
+		var c1, c2 uint64
+		t[i], c1 = bits.Add64(r[i], lo, 0)
+		t[i], c2 = bits.Add64(t[i], carry, 0)
+		carry = hi + c1 + c2
+	}
+	t[4] = carry
+
+	// Round 2: fold t[4]·pFold (≤ 64+33 bits) into the low 256 bits.
+	hi, lo := bits.Mul64(t[4], pFold)
+	var c uint64
+	dst.n[0], c = bits.Add64(t[0], lo, 0)
+	dst.n[1], c = bits.Add64(t[1], hi, c)
+	dst.n[2], c = bits.Add64(t[2], 0, c)
+	dst.n[3], c = bits.Add64(t[3], 0, c)
+	if c != 0 {
+		// One final fold of a single 2²⁵⁶ overflow.
+		dst.n[0], c = bits.Add64(dst.n[0], pFold, 0)
+		dst.n[1], c = bits.Add64(dst.n[1], 0, c)
+		dst.n[2], c = bits.Add64(dst.n[2], 0, c)
+		dst.n[3], _ = bits.Add64(dst.n[3], 0, c)
+	}
+	if geqP(&dst.n) {
+		subP(&dst.n)
+	}
+}
+
+// feInvInto sets dst = a⁻¹ mod p via Fermat's little theorem
+// (a^(p−2) mod p) with plain square-and-multiply over the fixed exponent.
+func feInvInto(dst, a *fieldVal) {
+	// p − 2, little-endian limbs.
+	exp := [4]uint64{
+		0xFFFFFFFEFFFFFC2D, 0xFFFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFF,
+	}
+	result := fieldVal{n: [4]uint64{1, 0, 0, 0}}
+	base := *a
+	var tmp fieldVal
+	for limb := 0; limb < 4; limb++ {
+		e := exp[limb]
+		for bit := 0; bit < 64; bit++ {
+			if e&1 == 1 {
+				feMulInto(&tmp, &result, &base)
+				result = tmp
+			}
+			e >>= 1
+			feSqrInto(&tmp, &base)
+			base = tmp
+		}
+	}
+	*dst = result
+}

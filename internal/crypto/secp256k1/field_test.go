@@ -1,0 +1,240 @@
+package secp256k1
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// feFromBig builds a fieldVal from a big.Int (reduced mod p).
+func feFromBig(v *big.Int) fieldVal {
+	var buf [32]byte
+	new(big.Int).Mod(v, S256().P).FillBytes(buf[:])
+	var f fieldVal
+	f.feSetBytes(&buf)
+	return f
+}
+
+// feToBig converts back for comparison.
+func feToBig(f *fieldVal) *big.Int {
+	var buf [32]byte
+	f.feBytes(&buf)
+	return new(big.Int).SetBytes(buf[:])
+}
+
+// randomFe derives a pseudo-random field element from four limbs.
+func randomFe(a, b, c, d uint64) *big.Int {
+	v := new(big.Int).SetUint64(a)
+	for _, w := range []uint64{b, c, d} {
+		v.Lsh(v, 64)
+		v.Or(v, new(big.Int).SetUint64(w))
+	}
+	return v.Mod(v, S256().P)
+}
+
+func TestFieldBytesRoundtrip(t *testing.T) {
+	f := func(a, b, c, d uint64) bool {
+		v := randomFe(a, b, c, d)
+		fe := feFromBig(v)
+		return feToBig(&fe).Cmp(v) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFieldSetBytesReduces(t *testing.T) {
+	// Loading a value ≥ p must reduce it.
+	var buf [32]byte
+	pPlus5 := new(big.Int).Add(S256().P, big.NewInt(5))
+	pPlus5.FillBytes(buf[:])
+	var fe fieldVal
+	fe.feSetBytes(&buf)
+	if feToBig(&fe).Cmp(big.NewInt(5)) != 0 {
+		t.Errorf("p+5 loaded as %v, want 5", feToBig(&fe))
+	}
+}
+
+func TestFieldAddSubDifferential(t *testing.T) {
+	p := S256().P
+	f := func(a1, a2, a3, a4, b1, b2, b3, b4 uint64) bool {
+		av, bv := randomFe(a1, a2, a3, a4), randomFe(b1, b2, b3, b4)
+		fa, fb := feFromBig(av), feFromBig(bv)
+
+		sum := feFromBig(av) // copy
+		sum.feAdd(&fb)
+		wantSum := new(big.Int).Add(av, bv)
+		wantSum.Mod(wantSum, p)
+		if feToBig(&sum).Cmp(wantSum) != 0 {
+			return false
+		}
+
+		diff := fa
+		diff.feSub(&fb)
+		wantDiff := new(big.Int).Sub(av, bv)
+		wantDiff.Mod(wantDiff, p)
+		return feToBig(&diff).Cmp(wantDiff) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFieldMulSqrDifferential(t *testing.T) {
+	p := S256().P
+	f := func(a1, a2, a3, a4, b1, b2, b3, b4 uint64) bool {
+		av, bv := randomFe(a1, a2, a3, a4), randomFe(b1, b2, b3, b4)
+		fa, fb := feFromBig(av), feFromBig(bv)
+
+		var prod fieldVal
+		feMulInto(&prod, &fa, &fb)
+		want := new(big.Int).Mul(av, bv)
+		want.Mod(want, p)
+		if feToBig(&prod).Cmp(want) != 0 {
+			return false
+		}
+
+		var sq fieldVal
+		feSqrInto(&sq, &fa)
+		wantSq := new(big.Int).Mul(av, av)
+		wantSq.Mod(wantSq, p)
+		return feToBig(&sq).Cmp(wantSq) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFieldNegDifferential(t *testing.T) {
+	p := S256().P
+	f := func(a1, a2, a3, a4 uint64) bool {
+		av := randomFe(a1, a2, a3, a4)
+		fe := feFromBig(av)
+		fe.feNeg()
+		want := new(big.Int).Neg(av)
+		want.Mod(want, p)
+		return feToBig(&fe).Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFieldInvDifferential(t *testing.T) {
+	p := S256().P
+	f := func(a1, a2, a3, a4 uint64) bool {
+		av := randomFe(a1, a2, a3, a4)
+		if av.Sign() == 0 {
+			return true
+		}
+		fe := feFromBig(av)
+		var inv fieldVal
+		feInvInto(&inv, &fe)
+		want := new(big.Int).ModInverse(av, p)
+		return feToBig(&inv).Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFieldEdgeValues(t *testing.T) {
+	p := S256().P
+	edges := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		big.NewInt(2),
+		new(big.Int).Sub(p, big.NewInt(1)),
+		new(big.Int).Sub(p, big.NewInt(2)),
+		new(big.Int).SetUint64(pFold),
+		new(big.Int).Lsh(big.NewInt(1), 255),
+	}
+	for _, a := range edges {
+		for _, b := range edges {
+			fa, fb := feFromBig(a), feFromBig(b)
+			sum := fa
+			sum.feAdd(&fb)
+			want := new(big.Int).Add(a, b)
+			want.Mod(want, p)
+			if feToBig(&sum).Cmp(want) != 0 {
+				t.Errorf("add(%v, %v) wrong", a, b)
+			}
+			var prod fieldVal
+			feMulInto(&prod, &fa, &fb)
+			wantM := new(big.Int).Mul(a, b)
+			wantM.Mod(wantM, p)
+			if feToBig(&prod).Cmp(wantM) != 0 {
+				t.Errorf("mul(%v, %v) wrong", a, b)
+			}
+		}
+	}
+}
+
+// TestFastPointOpsMatchGeneric pins the fieldVal point arithmetic against
+// the generic big.Int Jacobian path on random scalars.
+func TestFastPointOpsMatchGeneric(t *testing.T) {
+	c := S256()
+	f := func(ka, kb uint64) bool {
+		a := new(big.Int).SetUint64(ka%1_000_000 + 2)
+		b := new(big.Int).SetUint64(kb%1_000_000 + 2)
+		// Fast path (dispatched because c == _s256).
+		pa, pb := c.ScalarBaseMult(a), c.ScalarBaseMult(b)
+		fastSum := c.Add(pa, pb)
+		fastDouble := c.Double(pa)
+		fastMul := c.ScalarMult(pb, a)
+
+		// Generic path, forced via Jacobian internals.
+		genSum := c.fromJacobian(c.add(c.toJacobian(pa), c.toJacobian(pb)))
+		genDouble := c.fromJacobian(c.double(c.toJacobian(pa)))
+		acc := jacobian{x: big.NewInt(1), y: big.NewInt(1), z: big.NewInt(0)}
+		base := c.toJacobian(pb)
+		for i := a.BitLen() - 1; i >= 0; i-- {
+			acc = c.double(acc)
+			if a.Bit(i) == 1 {
+				acc = c.add(acc, base)
+			}
+		}
+		genMul := c.fromJacobian(acc)
+
+		return fastSum.Equal(genSum) && fastDouble.Equal(genDouble) && fastMul.Equal(genMul)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFastPathInfinityHandling(t *testing.T) {
+	c := S256()
+	g := c.Generator()
+	if !c.Add(g, c.Neg(g)).Infinity() {
+		t.Error("G + (−G) != inf on fast path")
+	}
+	if !c.Add(Point{}, Point{}).Infinity() {
+		t.Error("inf + inf != inf")
+	}
+	inf := geInfinity()
+	var doubled gePoint
+	geDouble(&doubled, &inf)
+	if !doubled.isInfinity() {
+		t.Error("2·inf != inf in ge arithmetic")
+	}
+}
+
+func BenchmarkFieldMul(b *testing.B) {
+	fa := feFromBig(randomFe(1, 2, 3, 4))
+	fb := feFromBig(randomFe(5, 6, 7, 8))
+	var out fieldVal
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		feMulInto(&out, &fa, &fb)
+	}
+}
+
+func BenchmarkFieldInv(b *testing.B) {
+	fa := feFromBig(randomFe(1, 2, 3, 4))
+	var out fieldVal
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		feInvInto(&out, &fa)
+	}
+}

@@ -1,0 +1,250 @@
+package secp256k1
+
+import (
+	"math/big"
+	"sync"
+)
+
+// Fast Jacobian point arithmetic for secp256k1 (a = 0) over the fixed
+// field in field.go. The generic big.Int path in curve.go remains for
+// arbitrary curves (P-256 differential tests); the public Curve methods
+// dispatch here when the receiver is the secp256k1 singleton.
+
+// gePoint is a Jacobian point (X/Z², Y/Z³); Z == 0 encodes infinity.
+type gePoint struct {
+	x, y, z fieldVal
+}
+
+// geInfinity returns the point at infinity.
+func geInfinity() gePoint {
+	var p gePoint
+	p.x.n[0] = 1
+	p.y.n[0] = 1
+	return p
+}
+
+func (p *gePoint) isInfinity() bool { return p.z.feIsZero() }
+
+// geFromAffine converts an affine point (must be on the curve, not
+// infinity).
+func geFromAffine(pt Point) gePoint {
+	var out gePoint
+	var buf [32]byte
+	pt.X.FillBytes(buf[:])
+	out.x.feSetBytes(&buf)
+	pt.Y.FillBytes(buf[:])
+	out.y.feSetBytes(&buf)
+	out.z.n[0] = 1
+	return out
+}
+
+// geToAffine converts back to affine big.Int coordinates.
+func geToAffine(p *gePoint) Point {
+	if p.isInfinity() {
+		return Point{}
+	}
+	var zInv, zInv2, zInv3, ax, ay fieldVal
+	feInvInto(&zInv, &p.z)
+	feSqrInto(&zInv2, &zInv)
+	feMulInto(&zInv3, &zInv2, &zInv)
+	feMulInto(&ax, &p.x, &zInv2)
+	feMulInto(&ay, &p.y, &zInv3)
+	var xb, yb [32]byte
+	ax.feBytes(&xb)
+	ay.feBytes(&yb)
+	return Point{X: new(big.Int).SetBytes(xb[:]), Y: new(big.Int).SetBytes(yb[:])}
+}
+
+// geDouble sets dst = 2p using dbl-2009-l (a = 0).
+func geDouble(dst, p *gePoint) {
+	if p.isInfinity() || p.y.feIsZero() {
+		*dst = geInfinity()
+		return
+	}
+	var A, B, C, D, E, F, X3, Y3, Z3, tmp fieldVal
+	feSqrInto(&A, &p.x) // A = X²
+	feSqrInto(&B, &p.y) // B = Y²
+	feSqrInto(&C, &B)   // C = B²
+
+	// D = 2·((X+B)² − A − C)
+	tmp = p.x
+	tmp.feAdd(&B)
+	feSqrInto(&D, &tmp)
+	D.feSub(&A)
+	D.feSub(&C)
+	tmp = D
+	D.feAdd(&tmp) // ×2
+
+	// E = 3A, F = E²
+	E = A
+	E.feAdd(&A)
+	E.feAdd(&A)
+	feSqrInto(&F, &E)
+
+	// X3 = F − 2D
+	X3 = F
+	X3.feSub(&D)
+	X3.feSub(&D)
+
+	// Y3 = E·(D − X3) − 8C
+	tmp = D
+	tmp.feSub(&X3)
+	feMulInto(&Y3, &E, &tmp)
+	tmp = C
+	tmp.feAdd(&C) // 2C
+	C = tmp
+	C.feAdd(&tmp) // 4C
+	tmp = C
+	C.feAdd(&tmp) // 8C
+	Y3.feSub(&C)
+
+	// Z3 = 2·Y·Z
+	feMulInto(&Z3, &p.y, &p.z)
+	tmp = Z3
+	Z3.feAdd(&tmp)
+
+	dst.x, dst.y, dst.z = X3, Y3, Z3
+}
+
+// geAdd sets dst = p + q using add-2007-bl.
+func geAdd(dst, p, q *gePoint) {
+	if p.isInfinity() {
+		*dst = *q
+		return
+	}
+	if q.isInfinity() {
+		*dst = *p
+		return
+	}
+
+	var z1z1, z2z2, u1, u2, s1, s2, tmp fieldVal
+	feSqrInto(&z1z1, &p.z)
+	feSqrInto(&z2z2, &q.z)
+	feMulInto(&u1, &p.x, &z2z2)
+	feMulInto(&u2, &q.x, &z1z1)
+
+	feMulInto(&tmp, &p.y, &q.z)
+	feMulInto(&s1, &tmp, &z2z2)
+	feMulInto(&tmp, &q.y, &p.z)
+	feMulInto(&s2, &tmp, &z1z1)
+
+	if u1.feEqual(&u2) {
+		if !s1.feEqual(&s2) {
+			*dst = geInfinity()
+			return
+		}
+		geDouble(dst, p)
+		return
+	}
+
+	var h, i, j, r, v, X3, Y3, Z3 fieldVal
+	h = u2
+	h.feSub(&u1) // H = U2 − U1
+	i = h
+	i.feAdd(&h) // 2H
+	feSqrInto(&tmp, &i)
+	i = tmp // I = (2H)²
+	feMulInto(&j, &h, &i)
+
+	r = s2
+	r.feSub(&s1)
+	tmp = r
+	r.feAdd(&tmp) // r = 2(S2 − S1)
+
+	feMulInto(&v, &u1, &i)
+
+	// X3 = r² − J − 2V
+	feSqrInto(&X3, &r)
+	X3.feSub(&j)
+	X3.feSub(&v)
+	X3.feSub(&v)
+
+	// Y3 = r·(V − X3) − 2·S1·J
+	tmp = v
+	tmp.feSub(&X3)
+	feMulInto(&Y3, &r, &tmp)
+	feMulInto(&tmp, &s1, &j)
+	Y3.feSub(&tmp)
+	Y3.feSub(&tmp)
+
+	// Z3 = ((Z1+Z2)² − Z1Z1 − Z2Z2)·H
+	tmp = p.z
+	tmp.feAdd(&q.z)
+	feSqrInto(&Z3, &tmp)
+	Z3.feSub(&z1z1)
+	Z3.feSub(&z2z2)
+	feMulInto(&tmp, &Z3, &h)
+	Z3 = tmp
+
+	dst.x, dst.y, dst.z = X3, Y3, Z3
+}
+
+// geScalarMult computes k·p with a 4-bit fixed window. k must already be
+// reduced mod N.
+func geScalarMult(p *gePoint, k *big.Int) gePoint {
+	if k.Sign() == 0 || p.isInfinity() {
+		return geInfinity()
+	}
+	var table [16]gePoint
+	table[0] = geInfinity()
+	table[1] = *p
+	for w := 2; w < 16; w++ {
+		geAdd(&table[w], &table[w-1], p)
+	}
+	acc := geInfinity()
+	words := k.Bits()
+	windows := (k.BitLen() + 3) / 4
+	for i := windows - 1; i >= 0; i-- {
+		geDouble(&acc, &acc)
+		geDouble(&acc, &acc)
+		geDouble(&acc, &acc)
+		geDouble(&acc, &acc)
+		if w := nibbleAt(words, i); w != 0 {
+			geAdd(&acc, &acc, &table[w])
+		}
+	}
+	return acc
+}
+
+// geBaseTable is the comb table for the generator: table[i][w] =
+// w·2^(4i)·G, built once on first use.
+var (
+	geBaseOnce  sync.Once
+	geBaseTable [][16]gePoint
+)
+
+func geBase() [][16]gePoint {
+	geBaseOnce.Do(func() {
+		windows := (S256().N.BitLen() + 3) / 4
+		table := make([][16]gePoint, windows)
+		stride := geFromAffine(S256().Generator())
+		for i := 0; i < windows; i++ {
+			table[i][0] = geInfinity()
+			for w := 1; w < 16; w++ {
+				geAdd(&table[i][w], &table[i][w-1], &stride)
+			}
+			for b := 0; b < 4; b++ {
+				geDouble(&stride, &stride)
+			}
+		}
+		geBaseTable = table
+	})
+	return geBaseTable
+}
+
+// geScalarBaseMult computes k·G via the precomputed comb (k reduced mod N).
+func geScalarBaseMult(k *big.Int) gePoint {
+	if k.Sign() == 0 {
+		return geInfinity()
+	}
+	table := geBase()
+	acc := geInfinity()
+	words := k.Bits()
+	windows := len(table)
+	for i := 0; i < windows; i++ {
+		if w := nibbleAt(words, i); w != 0 {
+			geAdd(&acc, &acc, &table[i][w])
+		}
+	}
+	return acc
+}

@@ -1,0 +1,367 @@
+package secp256k1
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeneratorOnCurve(t *testing.T) {
+	c := S256()
+	if !c.IsOnCurve(c.Generator()) {
+		t.Fatal("generator is not on the curve")
+	}
+}
+
+// TestKnownMultiples checks k·G against published secp256k1 vectors.
+func TestKnownMultiples(t *testing.T) {
+	c := S256()
+	cases := []struct {
+		k      int64
+		xs, ys string
+	}{
+		{1, "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798",
+			"483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8"},
+		{2, "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5",
+			"1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a"},
+		{3, "f9308a019258c31049344f85f89d5229b531c845836f99b08601f113bce036f9",
+			"388f7b0f632de8140fe337e62a37f3566500a99934c2231b6cb9fd7584b8e672"},
+	}
+	for _, tc := range cases {
+		got := c.ScalarBaseMult(big.NewInt(tc.k))
+		if got.X.Cmp(mustHex(tc.xs)) != 0 || got.Y.Cmp(mustHex(tc.ys)) != 0 {
+			t.Errorf("%d·G = %v, want (%s, %s)", tc.k, got, tc.xs, tc.ys)
+		}
+	}
+}
+
+func TestOrderTimesGeneratorIsInfinity(t *testing.T) {
+	c := S256()
+	// ScalarMult reduces mod N, so use the raw loop via N-1 then add G.
+	nm1 := new(big.Int).Sub(c.N, big.NewInt(1))
+	p := c.ScalarBaseMult(nm1)
+	sum := c.Add(p, c.Generator())
+	if !sum.Infinity() {
+		t.Errorf("(N-1)·G + G = %v, want infinity", sum)
+	}
+	// (N-1)·G must equal −G.
+	if !p.Equal(c.Neg(c.Generator())) {
+		t.Error("(N-1)·G != -G")
+	}
+}
+
+func TestGroupLaws(t *testing.T) {
+	c := S256()
+	f := func(ka, kb uint64) bool {
+		a := new(big.Int).SetUint64(ka%10_000 + 1)
+		b := new(big.Int).SetUint64(kb%10_000 + 1)
+		aG := c.ScalarBaseMult(a)
+		bG := c.ScalarBaseMult(b)
+		// (a+b)G == aG + bG
+		sum := c.ScalarBaseMult(new(big.Int).Add(a, b))
+		if !c.Add(aG, bG).Equal(sum) {
+			return false
+		}
+		// a(bG) == b(aG)
+		if !c.ScalarMult(bG, a).Equal(c.ScalarMult(aG, b)) {
+			return false
+		}
+		// closure
+		return c.IsOnCurve(sum)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddInfinityIdentity(t *testing.T) {
+	c := S256()
+	g := c.Generator()
+	if !c.Add(g, Point{}).Equal(g) {
+		t.Error("G + inf != G")
+	}
+	if !c.Add(Point{}, g).Equal(g) {
+		t.Error("inf + G != G")
+	}
+	if !c.Add(g, c.Neg(g)).Infinity() {
+		t.Error("G + (-G) != inf")
+	}
+	if !c.Double(Point{}).Infinity() {
+		t.Error("2·inf != inf")
+	}
+}
+
+// TestDifferentialP256 runs the generic Weierstrass code with NIST P-256
+// parameters and compares scalar multiplication against crypto/elliptic.
+func TestDifferentialP256(t *testing.T) {
+	ours := P256Params()
+	std := elliptic.P256()
+	f := func(seed uint64) bool {
+		k := new(big.Int).SetUint64(seed)
+		k.Mul(k, k) // widen
+		k.Add(k, big.NewInt(1))
+		k.Mod(k, ours.N)
+		wantX, wantY := std.ScalarBaseMult(k.Bytes())
+		got := ours.ScalarBaseMult(k)
+		return got.X.Cmp(wantX) == 0 && got.Y.Cmp(wantY) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDifferentialP256Add compares point addition against crypto/elliptic.
+func TestDifferentialP256Add(t *testing.T) {
+	ours := P256Params()
+	std := elliptic.P256()
+	a := ours.ScalarBaseMult(big.NewInt(123456789))
+	b := ours.ScalarBaseMult(big.NewInt(987654321))
+	wantX, wantY := std.Add(a.X, a.Y, b.X, b.Y)
+	got := ours.Add(a, b)
+	if got.X.Cmp(wantX) != 0 || got.Y.Cmp(wantY) != 0 {
+		t.Errorf("Add mismatch: got %v want (%x, %x)", got, wantX, wantY)
+	}
+}
+
+// TestVerifyAgainstStdlibECDSA signs with crypto/ecdsa on P-256 and
+// verifies with our generic verifier logic transplanted to P-256 params —
+// exercising hashToScalar and the verification equation against a second
+// implementation.
+func TestVerifyAgainstStdlibECDSA(t *testing.T) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := sha256.Sum256([]byte("smartcrowd differential test"))
+	r, s, err := ecdsa.Sign(rand.Reader, key, digest[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := P256Params()
+	e := hashToScalar(digest[:], c)
+	w := new(big.Int).ModInverse(s, c.N)
+	u1 := new(big.Int).Mul(e, w)
+	u1.Mod(u1, c.N)
+	u2 := new(big.Int).Mul(r, w)
+	u2.Mod(u2, c.N)
+	pub := Point{X: key.PublicKey.X, Y: key.PublicKey.Y}
+	p := c.Add(c.ScalarBaseMult(u1), c.ScalarMult(pub, u2))
+	if new(big.Int).Mod(p.X, c.N).Cmp(r) != 0 {
+		t.Error("our verification equation rejects a stdlib ECDSA signature")
+	}
+}
+
+func TestSignVerifyRoundtrip(t *testing.T) {
+	key, err := GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := sha256.Sum256([]byte("release announcement"))
+	sig, err := key.Sign(digest[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !key.Public.Verify(digest[:], sig) {
+		t.Error("valid signature rejected")
+	}
+	// Wrong digest must fail.
+	other := sha256.Sum256([]byte("tampered"))
+	if key.Public.Verify(other[:], sig) {
+		t.Error("signature verified against a different digest")
+	}
+	// Wrong key must fail.
+	key2, _ := GenerateKey(nil)
+	if key2.Public.Verify(digest[:], sig) {
+		t.Error("signature verified under a different key")
+	}
+}
+
+func TestSignDeterministic(t *testing.T) {
+	key := NewPrivateKey(big.NewInt(0x1337))
+	digest := sha256.Sum256([]byte("deterministic"))
+	a, err := key.Sign(digest[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := key.Sign(digest[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.R.Cmp(b.R) != 0 || a.S.Cmp(b.S) != 0 || a.V != b.V {
+		t.Error("RFC 6979 signing is not deterministic")
+	}
+}
+
+func TestLowSNormalization(t *testing.T) {
+	c := S256()
+	halfN := new(big.Int).Rsh(c.N, 1)
+	for i := int64(1); i <= 20; i++ {
+		key := NewPrivateKey(big.NewInt(i * 7919))
+		digest := sha256.Sum256([]byte{byte(i)})
+		sig, err := key.Sign(digest[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sig.S.Cmp(halfN) > 0 {
+			t.Errorf("signature %d has high S", i)
+		}
+	}
+}
+
+func TestHighSRejectedBehaviour(t *testing.T) {
+	// A flipped-S signature still satisfies raw ECDSA; recovery must still
+	// attribute it to the same key only if V is flipped consistently. We
+	// verify that Verify accepts it (ECDSA malleability) but that our
+	// Serialize/Parse path preserves exactly what Sign emitted.
+	key := NewPrivateKey(big.NewInt(42))
+	digest := sha256.Sum256([]byte("malleable"))
+	sig, _ := key.Sign(digest[:])
+	c := S256()
+	flipped := Signature{R: sig.R, S: new(big.Int).Sub(c.N, sig.S), V: sig.V ^ 1}
+	if !key.Public.Verify(digest[:], flipped) {
+		t.Error("ECDSA should accept the complementary S value")
+	}
+}
+
+func TestRecoverPublicKey(t *testing.T) {
+	for i := int64(1); i <= 10; i++ {
+		key := NewPrivateKey(big.NewInt(i * 104729))
+		digest := sha256.Sum256([]byte{byte(i), 0xAB})
+		sig, err := key.Sign(digest[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RecoverPublicKey(digest[:], sig)
+		if err != nil {
+			t.Fatalf("recover failed for key %d: %v", i, err)
+		}
+		if !got.Point.Equal(key.Public.Point) {
+			t.Errorf("key %d: recovered wrong public key", i)
+		}
+	}
+}
+
+func TestRecoverRejectsGarbage(t *testing.T) {
+	digest := sha256.Sum256([]byte("x"))
+	bad := []Signature{
+		{R: big.NewInt(0), S: big.NewInt(1), V: 0},
+		{R: big.NewInt(1), S: big.NewInt(0), V: 0},
+		{R: S256().N, S: big.NewInt(1), V: 0},
+		{R: big.NewInt(1), S: big.NewInt(1), V: 5},
+	}
+	for i, sig := range bad {
+		if _, err := RecoverPublicKey(digest[:], sig); err == nil {
+			t.Errorf("case %d: garbage signature recovered successfully", i)
+		}
+	}
+}
+
+func TestSignatureSerializeRoundtrip(t *testing.T) {
+	key := NewPrivateKey(big.NewInt(99991))
+	digest := sha256.Sum256([]byte("serialize"))
+	sig, _ := key.Sign(digest[:])
+	parsed, err := ParseSignature(sig.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.R.Cmp(sig.R) != 0 || parsed.S.Cmp(sig.S) != 0 || parsed.V != sig.V {
+		t.Error("serialize/parse roundtrip mismatch")
+	}
+	if _, err := ParseSignature(make([]byte, 64)); err == nil {
+		t.Error("ParseSignature accepted a 64-byte blob")
+	}
+}
+
+func TestPointMarshalRoundtrip(t *testing.T) {
+	c := S256()
+	f := func(seed uint64) bool {
+		k := new(big.Int).SetUint64(seed + 1)
+		p := c.ScalarBaseMult(k)
+		u, err := c.Unmarshal(c.Marshal(p))
+		if err != nil || !u.Equal(p) {
+			return false
+		}
+		comp, err := c.Unmarshal(c.MarshalCompressed(p))
+		return err == nil && comp.Equal(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalRejectsOffCurve(t *testing.T) {
+	c := S256()
+	bad := c.Marshal(c.Generator())
+	bad[len(bad)-1] ^= 0x01 // corrupt Y
+	if _, err := c.Unmarshal(bad); err == nil {
+		t.Error("Unmarshal accepted an off-curve point")
+	}
+	if _, err := c.Unmarshal([]byte{0x07, 1, 2}); err == nil {
+		t.Error("Unmarshal accepted an invalid prefix")
+	}
+}
+
+func TestParsePublicKeyRejectsInfinity(t *testing.T) {
+	if _, err := ParsePublicKey([]byte{0}); err == nil {
+		t.Error("ParsePublicKey accepted the point at infinity")
+	}
+}
+
+func TestGenerateKeyUniqueness(t *testing.T) {
+	a, err := GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.D.Cmp(b.D) == 0 {
+		t.Error("two generated keys are identical")
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	key := NewPrivateKey(big.NewInt(123456789))
+	digest := sha256.Sum256([]byte("bench"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := key.Sign(digest[:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	key := NewPrivateKey(big.NewInt(123456789))
+	digest := sha256.Sum256([]byte("bench"))
+	sig, _ := key.Sign(digest[:])
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !key.Public.Verify(digest[:], sig) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+func FuzzParseSignature(f *testing.F) {
+	key := NewPrivateKey(big.NewInt(7))
+	digest := sha256.Sum256([]byte("fuzz"))
+	sig, _ := key.Sign(digest[:])
+	f.Add(sig.Serialize())
+	f.Add(bytes.Repeat([]byte{0xFF}, 65))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sig, err := ParseSignature(data)
+		if err != nil {
+			return
+		}
+		// Parsed signatures must never panic verification.
+		_ = key.Public.Verify(digest[:], sig)
+		_, _ = RecoverPublicKey(digest[:], sig)
+	})
+}

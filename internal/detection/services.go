@@ -1,0 +1,144 @@
+package detection
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/smartcrowd/smartcrowd/internal/types"
+)
+
+// ServiceProfile models one centralized third-party detection service from
+// Table I of the paper. Each service uncovers a calibrated number of
+// vulnerabilities per severity class, drawn from the image's universe with
+// a service-specific bias — reproducing the paper's observation that the
+// services' results are "often different and non-overlapping".
+type ServiceProfile struct {
+	// Name is the service label (e.g. "Quixxi").
+	Name string
+	// Counts maps an app name to the high/medium/low finding counts the
+	// service reports for it.
+	Counts map[string][3]int // [high, medium, low]
+	// Bias offsets the service's sampling so different services pick
+	// different subsets of the universe (limited overlap).
+	Bias int64
+}
+
+// SeverityIndex orders severities as Table I columns: high, medium, low.
+var SeverityIndex = [3]types.Severity{types.SeverityHigh, types.SeverityMedium, types.SeverityLow}
+
+// TableIApps returns the two IoT apps of Table I with vulnerability
+// universes large enough to cover every service's findings: Samsung
+// Connect and Samsung Smart Home.
+func TableIApps() []*SystemImage {
+	return []*SystemImage{
+		GenerateImage("samsung-connect", "1.0", UniverseSpec{High: 6, Medium: 20, Low: 42, Seed: 101}),
+		GenerateImage("samsung-smart-home", "1.0", UniverseSpec{High: 25, Medium: 52, Low: 62, Seed: 202}),
+	}
+}
+
+// TableIServices returns the six third-party service profiles with
+// per-app counts exactly as Table I reports them.
+func TableIServices() []*ServiceProfile {
+	return []*ServiceProfile{
+		{Name: "VirusTotal", Bias: 1, Counts: map[string][3]int{
+			"samsung-connect": {0, 0, 0}, "samsung-smart-home": {0, 0, 0}}},
+		{Name: "Quixxi", Bias: 2, Counts: map[string][3]int{
+			"samsung-connect": {4, 6, 3}, "samsung-smart-home": {3, 8, 4}}},
+		{Name: "Andrototal", Bias: 3, Counts: map[string][3]int{
+			"samsung-connect": {0, 0, 0}, "samsung-smart-home": {0, 0, 0}}},
+		{Name: "jaq.alibaba", Bias: 4, Counts: map[string][3]int{
+			"samsung-connect": {1, 14, 32}, "samsung-smart-home": {21, 46, 55}}},
+		{Name: "Ostorlab", Bias: 5, Counts: map[string][3]int{
+			"samsung-connect": {0, 2, 0}, "samsung-smart-home": {0, 2, 2}}},
+		{Name: "htbridge", Bias: 6, Counts: map[string][3]int{
+			"samsung-connect": {1, 6, 5}, "samsung-smart-home": {1, 4, 6}}},
+	}
+}
+
+var _ Engine = (*ServiceProfile)(nil)
+
+// Scan implements Engine: the service reports its calibrated number of
+// findings per severity, sampled from the universe with its own bias.
+func (s *ServiceProfile) Scan(img *SystemImage) []Detection {
+	counts, ok := s.Counts[img.Name]
+	if !ok {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(s.Bias*7919 + int64(len(img.Payload))))
+
+	// Partition the universe by severity, deterministically ordered.
+	bySev := make(map[types.Severity][]Vulnerability, 3)
+	for _, v := range img.Vulns {
+		bySev[v.Severity] = append(bySev[v.Severity], v)
+	}
+	var out []Detection
+	for i, sev := range SeverityIndex {
+		pool := append([]Vulnerability(nil), bySev[sev]...)
+		sort.Slice(pool, func(a, b int) bool { return pool[a].ID < pool[b].ID })
+		want := counts[i]
+		if want > len(pool) {
+			want = len(pool)
+		}
+		// Biased sample: shuffle with the service's own RNG, take the
+		// first `want` — different services pick different subsets.
+		rng.Shuffle(len(pool), func(a, b int) { pool[a], pool[b] = pool[b], pool[a] })
+		for _, v := range pool[:want] {
+			out = append(out, Detection{
+				Finding: types.Finding{
+					VulnID:   v.ID,
+					Severity: v.Severity,
+					Evidence: "reported by " + s.Name,
+				},
+				After: time.Duration(rng.Int63n(int64(10 * time.Minute))),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Finding.VulnID < out[j].Finding.VulnID })
+	return out
+}
+
+// OverlapStats measures how much two services' finding sets intersect.
+type OverlapStats struct {
+	A, B      string
+	SizeA     int
+	SizeB     int
+	Intersect int
+}
+
+// Jaccard returns |A∩B| / |A∪B| (0 when both are empty).
+func (o OverlapStats) Jaccard() float64 {
+	union := o.SizeA + o.SizeB - o.Intersect
+	if union == 0 {
+		return 0
+	}
+	return float64(o.Intersect) / float64(union)
+}
+
+// Overlap computes pairwise overlap between two scans.
+func Overlap(nameA string, a []Detection, nameB string, b []Detection) OverlapStats {
+	seen := make(map[string]bool, len(a))
+	for _, d := range a {
+		seen[d.Finding.VulnID] = true
+	}
+	inter := 0
+	for _, d := range b {
+		if seen[d.Finding.VulnID] {
+			inter++
+		}
+	}
+	return OverlapStats{A: nameA, B: nameB, SizeA: len(a), SizeB: len(b), Intersect: inter}
+}
+
+// CountBySeverity tallies detections per severity in Table I column order.
+func CountBySeverity(ds []Detection) [3]int {
+	var out [3]int
+	for _, d := range ds {
+		for i, sev := range SeverityIndex {
+			if d.Finding.Severity == sev {
+				out[i]++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package economics
+
+import "math"
+
+// MajorityAttackSuccess returns the probability that an attacker
+// controlling fraction q of the network's hashing power eventually
+// rewrites a block buried under z confirmations — Nakamoto's catch-up
+// analysis as refined by Rosenfeld ("Analysis of hashrate-based double
+// spending", the paper's reference [32]).
+//
+// The honest chain extends by z blocks while the attacker mines privately;
+// the attacker's progress is Poisson with mean λ = z·q/p, and from a
+// deficit of d blocks it later catches up with probability (q/p)^d.
+// For q ≥ ½ the attack always succeeds, which is exactly the paper's
+// §VIII caveat ("anyone who controls the majority of hashing power can
+// destroy the PoW consensus").
+func MajorityAttackSuccess(q float64, z int) float64 {
+	if q <= 0 {
+		return 0
+	}
+	if q >= 0.5 {
+		return 1
+	}
+	if z <= 0 {
+		return 1 // an unconfirmed block offers no protection
+	}
+	p := 1 - q
+	ratio := q / p
+
+	// While the honest chain accumulates its z confirmations, the
+	// attacker's private progress k follows a negative binomial:
+	// NB(k; z, q) = C(k+z−1, k)·p^z·q^k. From a deficit of z−k blocks the
+	// attacker must still gain z−k+1 net blocks to present a strictly
+	// longer chain, which a gambler's-ruin argument succeeds at with
+	// probability (q/p)^(z−k+1); with k > z it is already ahead.
+	//
+	// P(success) = Σ_{k=0}^{z} NB(k)·ratio^{z−k+1} + P(k > z)
+	nb := math.Pow(p, float64(z)) // NB(0)
+	caught := 0.0
+	cumulative := 0.0
+	for k := 0; k <= z; k++ {
+		if k > 0 {
+			nb *= ratio * p * float64(k+z-1) / float64(k) // ×C ratio ×q
+		}
+		cumulative += nb
+		caught += nb * math.Pow(ratio, float64(z-k+1))
+	}
+	result := caught + (1 - cumulative)
+	if result < 0 {
+		return 0
+	}
+	if result > 1 {
+		return 1
+	}
+	return result
+}

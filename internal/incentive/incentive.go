@@ -1,0 +1,188 @@
+// Package incentive implements SmartCrowd's incentive arithmetic (paper
+// §V-D, Eq. 7-10) and a Tracker that attributes every on-chain flow —
+// mining rewards, transaction fees, bounty payouts, forfeited insurance,
+// burned gas — to the stakeholder balances the paper evaluates in §VII.
+package incentive
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/smartcrowd/smartcrowd/internal/types"
+)
+
+// DetectorIncentive computes Eq. 7: in†_i = μ · n_i · ρ_i, a detector's
+// expected earnings for one SRA given bounty μ, n detected vulnerabilities
+// and acceptance proportion ρ.
+func DetectorIncentive(mu types.Amount, n uint64, rho float64) types.Amount {
+	if rho < 0 {
+		rho = 0
+	}
+	if rho > 1 {
+		rho = 1
+	}
+	return types.Amount(float64(mu) * float64(n) * rho)
+}
+
+// ProviderIncentive computes Eq. 8: in*_i = χ·ν + ψ·ω, a mining provider's
+// earnings for χ block rewards worth ν each plus ω report fees worth ψ
+// each.
+func ProviderIncentive(chi uint64, nu types.Amount, psi types.Amount, omega uint64) types.Amount {
+	return types.Amount(chi)*nu + psi*types.Amount(omega)
+}
+
+// ProviderPunishment computes Eq. 9: pu_i = μ·Σ n_j·ρ_j + cp_i, the
+// insurance forfeited across detectors plus the contract deployment cost.
+func ProviderPunishment(mu types.Amount, acceptedPerDetector []uint64, deployCost types.Amount) types.Amount {
+	var total uint64
+	for _, n := range acceptedPerDetector {
+		total += n
+	}
+	return mu*types.Amount(total) + deployCost
+}
+
+// DetectorCost computes Eq. 10: co_i = n_i·(c + ρ_i·ψ), the cost of
+// submitting n reports at submission cost c with average accepted-report
+// fee ρ·ψ.
+func DetectorCost(n uint64, submitCost types.Amount, rho float64, psi types.Amount) types.Amount {
+	return types.Amount(n) * (submitCost + types.Amount(rho*float64(psi)))
+}
+
+// Flow labels one attribution category in the tracker.
+type Flow int
+
+// Flow categories.
+const (
+	// FlowMining is block rewards (χ·ν).
+	FlowMining Flow = iota + 1
+	// FlowFees is transaction fees earned by miners (ψ·ω).
+	FlowFees
+	// FlowBounty is vulnerability payouts received by detectors (Eq. 7).
+	FlowBounty
+	// FlowPunishment is insurance forfeited by providers (Eq. 9).
+	FlowPunishment
+	// FlowGas is gas spent submitting transactions (Eq. 10 and deploy
+	// costs).
+	FlowGas
+	// FlowRefund is reclaimed insurance.
+	FlowRefund
+)
+
+// String names the flow.
+func (f Flow) String() string {
+	switch f {
+	case FlowMining:
+		return "mining"
+	case FlowFees:
+		return "fees"
+	case FlowBounty:
+		return "bounty"
+	case FlowPunishment:
+		return "punishment"
+	case FlowGas:
+		return "gas"
+	case FlowRefund:
+		return "refund"
+	default:
+		return "unknown"
+	}
+}
+
+// Balance summarizes one stakeholder's flows. Earned categories are
+// positive contributions; Punishment and Gas are costs.
+type Balance struct {
+	Mining     types.Amount
+	Fees       types.Amount
+	Bounty     types.Amount
+	Refund     types.Amount
+	Punishment types.Amount
+	Gas        types.Amount
+	Blocks     uint64 // blocks mined
+	Accepted   uint64 // findings accepted
+}
+
+// Net returns earnings minus costs in ether (float, reporting only; can be
+// negative).
+func (b Balance) Net() float64 {
+	earned := b.Mining + b.Fees + b.Bounty + b.Refund
+	spent := b.Punishment + b.Gas
+	return earned.Ether() - spent.Ether()
+}
+
+// Tracker accumulates flows per address. It is safe for concurrent use.
+type Tracker struct {
+	mu       sync.Mutex
+	balances map[types.Address]*Balance
+}
+
+// NewTracker creates an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{balances: make(map[types.Address]*Balance)}
+}
+
+func (t *Tracker) get(a types.Address) *Balance {
+	b, ok := t.balances[a]
+	if !ok {
+		b = &Balance{}
+		t.balances[a] = b
+	}
+	return b
+}
+
+// Record adds an amount under a flow for an address.
+func (t *Tracker) Record(a types.Address, f Flow, amount types.Amount) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.get(a)
+	switch f {
+	case FlowMining:
+		b.Mining += amount
+		b.Blocks++
+	case FlowFees:
+		b.Fees += amount
+	case FlowBounty:
+		b.Bounty += amount
+	case FlowPunishment:
+		b.Punishment += amount
+	case FlowGas:
+		b.Gas += amount
+	case FlowRefund:
+		b.Refund += amount
+	}
+}
+
+// RecordAccepted bumps a detector's accepted-findings counter.
+func (t *Tracker) RecordAccepted(a types.Address, n uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.get(a).Accepted += n
+}
+
+// Of returns a copy of an address's balance.
+func (t *Tracker) Of(a types.Address) Balance {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if b, ok := t.balances[a]; ok {
+		return *b
+	}
+	return Balance{}
+}
+
+// Addresses lists tracked addresses deterministically.
+func (t *Tracker) Addresses() []types.Address {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]types.Address, 0, len(t.balances))
+	for a := range t.balances {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}

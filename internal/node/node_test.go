@@ -1,0 +1,433 @@
+package node
+
+import (
+	"testing"
+
+	"github.com/smartcrowd/smartcrowd/internal/chain"
+	"github.com/smartcrowd/smartcrowd/internal/contract"
+	"github.com/smartcrowd/smartcrowd/internal/detection"
+	"github.com/smartcrowd/smartcrowd/internal/p2p"
+	"github.com/smartcrowd/smartcrowd/internal/types"
+	"github.com/smartcrowd/smartcrowd/internal/wallet"
+)
+
+// cluster is a small SmartCrowd network for integration tests.
+type cluster struct {
+	t         *testing.T
+	net       *p2p.Network
+	providers []*ProviderNode
+	verifier  *detection.GroundTruthVerifier
+	now       uint64
+}
+
+func newCluster(t *testing.T, nProviders int, alloc map[types.Address]types.Amount) *cluster {
+	t.Helper()
+	cl := &cluster{
+		t:        t,
+		net:      p2p.New(p2p.Config{Seed: 1}),
+		verifier: detection.NewGroundTruthVerifier(false),
+	}
+	cfg := chain.DefaultConfig(contract.New(contract.DefaultParams(), cl.verifier))
+	cfg.SkipPoWCheck = true
+	cfg.Alloc = alloc
+	for i := 0; i < nProviders; i++ {
+		w := wallet.NewDeterministic("provider-" + string(rune('0'+i)))
+		p, err := NewProvider(p2p.NodeID("p"+string(rune('0'+i))), w, cfg, cl.net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.providers = append(cl.providers, p)
+	}
+	return cl
+}
+
+// settle advances simulated time and lets every provider drain its inbox
+// until the network is quiet.
+func (cl *cluster) settle() {
+	for i := 0; i < 20; i++ {
+		cl.now += 10
+		cl.net.AdvanceTo(cl.now)
+		for _, p := range cl.providers {
+			p.HandleMessages()
+		}
+		if cl.net.PendingDeliveries() == 0 && i > 1 {
+			return
+		}
+	}
+}
+
+// mine makes provider i seal a block and settles propagation.
+func (cl *cluster) mine(i int) *types.Block {
+	cl.t.Helper()
+	cl.now += 15_350
+	blk, err := cl.providers[i].MineBlock(cl.now, 1000, 0, 0)
+	if err != nil {
+		cl.t.Fatal(err)
+	}
+	cl.settle()
+	return blk
+}
+
+func fundedActors() (map[types.Address]types.Amount, *wallet.Wallet, *wallet.Wallet) {
+	releasing := wallet.NewDeterministic("releasing-provider")
+	detecting := wallet.NewDeterministic("detector-wallet")
+	alloc := map[types.Address]types.Amount{
+		releasing.Address(): types.EtherAmount(5000),
+		detecting.Address(): types.EtherAmount(100),
+	}
+	return alloc, releasing, detecting
+}
+
+func TestTxGossipReachesAllProviders(t *testing.T) {
+	alloc, releasing, _ := fundedActors()
+	cl := newCluster(t, 3, alloc)
+
+	tx := &types.Transaction{
+		Kind:     types.TxTransfer,
+		Nonce:    0,
+		To:       types.Address{1},
+		Value:    types.EtherAmount(1),
+		GasLimit: 21_000,
+		GasPrice: 50 * types.GWei,
+	}
+	if err := types.SignTx(tx, releasing); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.providers[0].SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	cl.settle()
+	for i, p := range cl.providers {
+		if p.PoolLen() != 1 {
+			t.Errorf("provider %d pool = %d, want 1", i, p.PoolLen())
+		}
+	}
+}
+
+func TestMinedBlocksConvergeAllChains(t *testing.T) {
+	alloc, releasing, _ := fundedActors()
+	cl := newCluster(t, 3, alloc)
+	tx := &types.Transaction{
+		Kind:     types.TxTransfer,
+		Nonce:    0,
+		To:       types.Address{1},
+		Value:    types.EtherAmount(1),
+		GasLimit: 21_000,
+		GasPrice: 50 * types.GWei,
+	}
+	if err := types.SignTx(tx, releasing); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.providers[0].SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	cl.settle()
+	blk := cl.mine(1) // a different provider mines it
+
+	for i, p := range cl.providers {
+		if p.Chain().Head().ID() != blk.ID() {
+			t.Errorf("provider %d head diverged", i)
+		}
+		if p.PoolLen() != 0 {
+			t.Errorf("provider %d pool not pruned after inclusion", i)
+		}
+	}
+}
+
+func TestOrphanBlockBuffering(t *testing.T) {
+	alloc, _, _ := fundedActors()
+	cl := newCluster(t, 2, alloc)
+	isolated := cl.providers[1]
+
+	// Provider 0 mines two blocks while partitioned away from provider 1.
+	cl.net.Partition([]p2p.NodeID{cl.providers[0].ID()}, []p2p.NodeID{isolated.ID()})
+	b1 := cl.mine(0)
+	b2 := cl.mine(0)
+	cl.net.Heal()
+
+	// Deliver only the child: the node must buffer it (never apply a
+	// block without its parent) and backfill b1 from the announcer.
+	_ = cl.net.Send(cl.providers[0].ID(), isolated.ID(),
+		p2p.Message{Kind: p2p.MsgBlock, Payload: types.EncodeBlock(b2)})
+	if isolated.Chain().HeadNumber() != 0 {
+		t.Fatal("orphan applied without parent") // before any settle round
+	}
+	cl.settle()
+	if isolated.Chain().Head().ID() != b2.ID() {
+		t.Error("orphan not connected after ancestor backfill")
+	}
+	if !isolated.Chain().HasBlock(b1.ID()) {
+		t.Error("parent not backfilled")
+	}
+}
+
+func TestDetectorLifecycleEndToEnd(t *testing.T) {
+	alloc, releasing, detecting := fundedActors()
+	cl := newCluster(t, 2, alloc)
+
+	// The releasing provider announces a vulnerable firmware.
+	img := detection.GenerateImage("lock-fw", "2.0", detection.UniverseSpec{High: 3, Medium: 4, Low: 3, Seed: 77})
+	sra := &types.SRA{
+		Provider:     releasing.Address(),
+		Name:         img.Name,
+		Version:      img.Version,
+		SystemHash:   img.Hash(),
+		DownloadLink: "sc://releases/lock-fw/2.0",
+		Insurance:    types.EtherAmount(1000),
+		Bounty:       types.EtherAmount(5),
+	}
+	if err := types.SignSRA(sra, releasing); err != nil {
+		t.Fatal(err)
+	}
+	cl.verifier.Register(sra.ID, img)
+
+	sraTx := types.NewSRATx(sra, 0, 2_000_000, 50*types.GWei)
+	if err := types.SignTx(sraTx, releasing); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.providers[0].SubmitTx(sraTx); err != nil {
+		t.Fatal(err)
+	}
+	cl.settle()
+	cl.mine(0)
+
+	// A lightweight detector reacts to the SRA.
+	engine := &detection.CapabilityEngine{Name: "det", Capability: 1.0, Speed: 4, Seed: 5}
+	det := NewDetector("d0", detecting, engine, cl.providers[0].Chain(), cl.net, DefaultDetectorConfig())
+	itx, err := det.OnSRA(sra, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if itx == nil {
+		t.Fatal("full-capability detector found nothing")
+	}
+	cl.settle()
+	cl.mine(1) // R† chained
+
+	// Not confirmed deeply enough yet → no reveal.
+	if revealed := det.Poll(); len(revealed) != 0 {
+		t.Fatal("revealed before confirmation depth")
+	}
+	cl.mine(0) // depth 2
+	revealed := det.Poll()
+	if len(revealed) != 1 {
+		t.Fatalf("revealed %d reports, want 1", len(revealed))
+	}
+	cl.settle()
+	cl.mine(1) // R* chained, payout executes
+
+	r, err := cl.providers[0].Chain().ReceiptOf(revealed[0].Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Success {
+		t.Fatalf("reveal failed: %s", r.Err)
+	}
+	if r.Payout.Paid == 0 || len(r.Payout.Accepted) == 0 {
+		t.Error("no payout for genuine findings")
+	}
+	if det.Earnings() != r.Payout.Paid {
+		t.Errorf("Earnings() = %s, receipt says %s", det.Earnings(), r.Payout.Paid)
+	}
+
+	// Consumer consults the authoritative reference.
+	sc := contract.New(contract.DefaultParams(), cl.verifier)
+	consumer := NewConsumer(cl.providers[1].Chain(), sc, 0)
+	ref, err := consumer.Lookup(sra.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.ConfirmedVulns == 0 || ref.SafeToDeploy {
+		t.Errorf("consumer verdict wrong: %+v", ref)
+	}
+	if ref.Provider != releasing.Address() {
+		t.Error("reference does not name the accountable provider")
+	}
+	if ref.Reports != 2 {
+		t.Errorf("reference lists %d reports, want 2 (R† + R*)", ref.Reports)
+	}
+	if len(ref.Findings) != int(ref.ConfirmedVulns) {
+		t.Error("findings list inconsistent with confirmed count")
+	}
+}
+
+func TestDetectorRejectsTamperedImage(t *testing.T) {
+	alloc, releasing, detecting := fundedActors()
+	cl := newCluster(t, 1, alloc)
+	img := detection.GenerateImage("fw", "1.0", detection.UniverseSpec{High: 2, Seed: 1})
+	sra := &types.SRA{
+		Provider:     releasing.Address(),
+		Name:         img.Name,
+		Version:      img.Version,
+		SystemHash:   img.Hash(),
+		DownloadLink: "sc://x",
+		Insurance:    types.EtherAmount(10),
+		Bounty:       types.EtherAmount(1),
+	}
+	if err := types.SignSRA(sra, releasing); err != nil {
+		t.Fatal(err)
+	}
+	det := NewDetector("d0", detecting, &detection.CapabilityEngine{Capability: 1, Seed: 1},
+		cl.providers[0].Chain(), cl.net, DefaultDetectorConfig())
+
+	tampered := detection.GenerateImage("fw", "1.0", detection.UniverseSpec{High: 2, Seed: 999})
+	if _, err := det.OnSRA(sra, tampered); err == nil {
+		t.Error("detector scanned an image whose hash does not match U_h")
+	}
+}
+
+func TestDetectorSkipsCleanImage(t *testing.T) {
+	alloc, releasing, detecting := fundedActors()
+	cl := newCluster(t, 1, alloc)
+	img := detection.GenerateImage("clean-fw", "1.0", detection.UniverseSpec{Seed: 1}) // zero vulns
+	sra := &types.SRA{
+		Provider:     releasing.Address(),
+		Name:         img.Name,
+		Version:      img.Version,
+		SystemHash:   img.Hash(),
+		DownloadLink: "sc://x",
+		Insurance:    types.EtherAmount(10),
+		Bounty:       types.EtherAmount(1),
+	}
+	if err := types.SignSRA(sra, releasing); err != nil {
+		t.Fatal(err)
+	}
+	det := NewDetector("d0", detecting, &detection.CapabilityEngine{Capability: 1, Seed: 1},
+		cl.providers[0].Chain(), cl.net, DefaultDetectorConfig())
+	itx, err := det.OnSRA(sra, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if itx != nil {
+		t.Error("detector reported findings on a clean image")
+	}
+	if det.PendingReveals() != 0 {
+		t.Error("pending reveal for a clean image")
+	}
+}
+
+func TestSubmitTxRejectsDuplicate(t *testing.T) {
+	alloc, releasing, _ := fundedActors()
+	cl := newCluster(t, 1, alloc)
+	tx := &types.Transaction{
+		Kind: types.TxTransfer, Nonce: 0, To: types.Address{1},
+		Value: 1, GasLimit: 21_000, GasPrice: 50,
+	}
+	if err := types.SignTx(tx, releasing); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.providers[0].SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.providers[0].SubmitTx(tx); err == nil {
+		t.Error("duplicate submission accepted")
+	}
+}
+
+// TestPartitionHealReconvergence: two provider groups mine divergent
+// chains during a partition; after healing, block gossip plus ancestor
+// backfill reconverges every node onto the heavier branch.
+func TestPartitionHealReconvergence(t *testing.T) {
+	alloc, _, _ := fundedActors()
+	cl := newCluster(t, 2, alloc)
+	a, b := cl.providers[0], cl.providers[1]
+
+	cl.net.Partition([]p2p.NodeID{a.ID()}, []p2p.NodeID{b.ID()})
+	// Group A mines a long-but-light chain; group B a short-but-heavy one.
+	for i := 0; i < 3; i++ {
+		cl.now += 15_350
+		if _, err := a.MineBlock(cl.now, 1000, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.now += 15_350
+	heavy, err := b.MineBlock(cl.now, 10_000, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.settle()
+	if a.Chain().HeadNumber() != 3 || b.Chain().HeadNumber() != 1 {
+		t.Fatalf("partition setup wrong: a=%d b=%d", a.Chain().HeadNumber(), b.Chain().HeadNumber())
+	}
+
+	// Heal, then have each side announce its head; backfill does the rest.
+	cl.net.Heal()
+	aHead := a.Chain().Head()
+	_ = cl.net.Send(a.ID(), b.ID(), p2p.Message{Kind: p2p.MsgBlock, Payload: types.EncodeBlock(aHead)})
+	_ = cl.net.Send(b.ID(), a.ID(), p2p.Message{Kind: p2p.MsgBlock, Payload: types.EncodeBlock(heavy)})
+	for i := 0; i < 10; i++ {
+		cl.settle()
+	}
+
+	if a.Chain().Head().ID() != heavy.ID() {
+		t.Errorf("node A did not reorg to the heavier branch (head %d, td %d)",
+			a.Chain().HeadNumber(), a.Chain().TotalDifficulty())
+	}
+	if b.Chain().Head().ID() != heavy.ID() {
+		t.Errorf("node B left its heavy head (head %d)", b.Chain().HeadNumber())
+	}
+	// Node B also backfilled A's branch blocks (it knows them, even if
+	// not canonical).
+	if !b.Chain().HasBlock(aHead.ID()) {
+		t.Error("node B did not backfill the competing branch")
+	}
+}
+
+// TestDeepBackfill: a node that missed many blocks recovers the whole
+// ancestry chain through recursive block requests.
+func TestDeepBackfill(t *testing.T) {
+	alloc, _, _ := fundedActors()
+	cl := newCluster(t, 2, alloc)
+	a, b := cl.providers[0], cl.providers[1]
+
+	cl.net.Partition([]p2p.NodeID{a.ID()}, []p2p.NodeID{b.ID()})
+	var head *types.Block
+	for i := 0; i < 6; i++ {
+		cl.now += 15_350
+		var err error
+		head, err = a.MineBlock(cl.now, 1000, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.net.Heal()
+	// B hears only the head announcement.
+	_ = cl.net.Send(a.ID(), b.ID(), p2p.Message{Kind: p2p.MsgBlock, Payload: types.EncodeBlock(head)})
+	for i := 0; i < 20; i++ {
+		cl.settle()
+		if b.Chain().Head().ID() == head.ID() {
+			break
+		}
+	}
+	if b.Chain().Head().ID() != head.ID() {
+		t.Errorf("deep backfill failed: b at height %d, want 6", b.Chain().HeadNumber())
+	}
+}
+
+// TestMalformedGossipIsDroppedSilently: garbage payloads must neither
+// crash a node nor be relayed.
+func TestMalformedGossipIsDroppedSilently(t *testing.T) {
+	alloc, _, _ := fundedActors()
+	cl := newCluster(t, 2, alloc)
+	garbage := [][]byte{
+		nil,
+		{0x00},
+		{0xc0},
+		[]byte("definitely not RLP"),
+	}
+	sentBefore := cl.net.Stats().Sent
+	for _, payload := range garbage {
+		_ = cl.net.Send("external", cl.providers[0].ID(), p2p.Message{Kind: p2p.MsgTx, Payload: payload})
+		_ = cl.net.Send("external", cl.providers[0].ID(), p2p.Message{Kind: p2p.MsgBlock, Payload: payload})
+		_ = cl.net.Send("external", cl.providers[0].ID(), p2p.Message{Kind: p2p.MsgBlockRequest, Payload: payload})
+	}
+	cl.settle()
+	if cl.providers[0].PoolLen() != 0 || cl.providers[0].Chain().HeadNumber() != 0 {
+		t.Error("garbage gossip affected node state")
+	}
+	// Nothing was relayed beyond the direct garbage sends themselves.
+	relayed := cl.net.Stats().Sent - sentBefore - len(garbage)*3
+	if relayed != 0 {
+		t.Errorf("node relayed %d messages in response to garbage", relayed)
+	}
+}

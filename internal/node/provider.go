@@ -1,0 +1,256 @@
+// Package node implements SmartCrowd's three stakeholder roles (paper
+// §IV-A):
+//
+//   - ProviderNode — a full node: verifies and stores SRAs and detection
+//     reports, maintains the blockchain, mines blocks, and earns rewards;
+//   - DetectorNode — a lightweight detector (paper §V-B): no local chain;
+//     it scans released systems and drives the two-phase report protocol;
+//   - Consumer — a query client that reads the blockchain as the
+//     authoritative reference before deploying an IoT system.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/smartcrowd/smartcrowd/internal/chain"
+	"github.com/smartcrowd/smartcrowd/internal/p2p"
+	"github.com/smartcrowd/smartcrowd/internal/pow"
+	"github.com/smartcrowd/smartcrowd/internal/txpool"
+	"github.com/smartcrowd/smartcrowd/internal/types"
+	"github.com/smartcrowd/smartcrowd/internal/wallet"
+)
+
+// ProviderNode is a mining IoT provider: a full SmartCrowd node.
+type ProviderNode struct {
+	id     p2p.NodeID
+	wallet *wallet.Wallet
+	net    *p2p.Network
+
+	mu         sync.Mutex
+	chain      *chain.Chain
+	pool       *txpool.Pool
+	seenTxs    map[types.Hash]bool
+	seenBlocks map[types.Hash]bool
+	orphans    map[types.Hash]*types.Block // parent id → block awaiting parent
+}
+
+// NewProvider creates a provider node with its own chain instance and
+// joins it to the network.
+func NewProvider(id p2p.NodeID, w *wallet.Wallet, cfg chain.Config, net *p2p.Network) (*ProviderNode, error) {
+	c, err := chain.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("node: provider %s: %w", id, err)
+	}
+	if net != nil {
+		net.Join(id)
+	}
+	return &ProviderNode{
+		id:         id,
+		wallet:     w,
+		net:        net,
+		chain:      c,
+		pool:       txpool.New(txpool.Config{}),
+		seenTxs:    make(map[types.Hash]bool),
+		seenBlocks: make(map[types.Hash]bool),
+		orphans:    make(map[types.Hash]*types.Block),
+	}, nil
+}
+
+// ID returns the node's network identity.
+func (p *ProviderNode) ID() p2p.NodeID { return p.id }
+
+// Address returns the provider's wallet address (block rewards land here).
+func (p *ProviderNode) Address() types.Address { return p.wallet.Address() }
+
+// Wallet returns the provider's signing wallet.
+func (p *ProviderNode) Wallet() *wallet.Wallet { return p.wallet }
+
+// Chain exposes the node's chain for queries.
+func (p *ProviderNode) Chain() *chain.Chain { return p.chain }
+
+// PoolLen reports the pending-pool size.
+func (p *ProviderNode) PoolLen() int { return p.pool.Len() }
+
+// SubmitTx validates a locally-originated transaction, pools it and
+// gossips it to peers.
+func (p *ProviderNode) SubmitTx(tx *types.Transaction) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.acceptTx(tx, true)
+}
+
+// acceptTx pools and optionally gossips; callers hold the lock.
+func (p *ProviderNode) acceptTx(tx *types.Transaction, gossip bool) error {
+	hash := tx.Hash()
+	if p.seenTxs[hash] {
+		return txpool.ErrKnownTx
+	}
+	st := p.chain.State()
+	if err := p.pool.Add(tx, st); err != nil {
+		return err
+	}
+	p.seenTxs[hash] = true
+	if gossip && p.net != nil {
+		p.net.Broadcast(p.id, p2p.Message{Kind: p2p.MsgTx, Payload: types.EncodeTx(tx)})
+	}
+	return nil
+}
+
+// HandleMessages drains the node's network inbox, processing gossiped
+// transactions and blocks and relaying the ones it had not seen.
+func (p *ProviderNode) HandleMessages() {
+	if p.net == nil {
+		return
+	}
+	for _, msg := range p.net.Receive(p.id) {
+		switch msg.Kind {
+		case p2p.MsgTx:
+			tx, err := types.DecodeTx(msg.Payload)
+			if err != nil {
+				continue // malformed gossip is dropped, not propagated
+			}
+			p.mu.Lock()
+			_ = p.acceptTx(tx, true) // duplicates and invalid txs are ignored
+			p.mu.Unlock()
+		case p2p.MsgBlock:
+			blk, err := types.DecodeBlock(msg.Payload)
+			if err != nil {
+				continue
+			}
+			p.mu.Lock()
+			p.acceptBlock(blk, true)
+			// If the block orphaned, backfill its ancestry from the peer
+			// that announced it.
+			if _, missing := p.orphans[blk.Header.ParentID]; missing && !p.chain.HasBlock(blk.Header.ParentID) {
+				parentID := blk.Header.ParentID
+				_ = p.net.Send(p.id, msg.From, p2p.Message{
+					Kind:    p2p.MsgBlockRequest,
+					Payload: parentID[:],
+				})
+			}
+			p.mu.Unlock()
+		case p2p.MsgBlockRequest:
+			if len(msg.Payload) != types.HashSize {
+				continue
+			}
+			var id types.Hash
+			copy(id[:], msg.Payload)
+			blk, err := p.chain.BlockByID(id)
+			if err != nil {
+				continue // we don't have it either
+			}
+			_ = p.net.Send(p.id, msg.From, p2p.Message{
+				Kind:    p2p.MsgBlock,
+				Payload: types.EncodeBlock(blk),
+			})
+		}
+	}
+}
+
+// acceptBlock inserts a block (buffering orphans) and relays new ones;
+// callers hold the lock.
+func (p *ProviderNode) acceptBlock(blk *types.Block, gossip bool) {
+	id := blk.ID()
+	if p.seenBlocks[id] {
+		return
+	}
+	if _, err := p.chain.InsertBlock(blk); err != nil {
+		if errors.Is(err, chain.ErrUnknownParent) {
+			p.orphans[blk.Header.ParentID] = blk
+		}
+		return
+	}
+	p.seenBlocks[id] = true
+	p.pool.Prune(p.chain.State())
+	if gossip && p.net != nil {
+		p.net.Broadcast(p.id, p2p.Message{Kind: p2p.MsgBlock, Payload: types.EncodeBlock(blk)})
+	}
+	// An orphan may now connect.
+	if child, ok := p.orphans[id]; ok {
+		delete(p.orphans, id)
+		p.acceptBlock(child, gossip)
+	}
+}
+
+// SealAndPublish performs one round of live mining: it assembles a block
+// on the current head, grinds a real proof-of-work nonce with the given
+// sealer (releasing the node lock during the search), then inserts and
+// gossips the sealed block. If another block lands on the head while
+// sealing, the stale solution is discarded and ErrStaleSeal is returned —
+// the caller simply tries again, exactly like a real miner.
+func (p *ProviderNode) SealAndPublish(sealer pow.Sealer, timestamp, difficulty uint64, maxTxs int, stop <-chan struct{}) (*types.Block, error) {
+	p.mu.Lock()
+	head := p.chain.Head()
+	if timestamp <= head.Header.Time {
+		timestamp = head.Header.Time + 1
+	}
+	txs := p.pool.Pending(p.chain.State(), maxTxs)
+	blk, err := p.chain.BuildBlock(head.ID(), p.wallet.Address(), timestamp, difficulty, txs)
+	p.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("node: build block: %w", err)
+	}
+
+	sealed, err := sealer.Seal(blk.Header, stop)
+	if err != nil {
+		return nil, err
+	}
+	blk.Header = sealed
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.chain.Head().ID() != head.ID() {
+		return nil, ErrStaleSeal
+	}
+	if _, err := p.chain.InsertBlock(blk); err != nil {
+		return nil, fmt.Errorf("node: insert sealed block: %w", err)
+	}
+	p.seenBlocks[blk.ID()] = true
+	for _, tx := range blk.Txs {
+		p.pool.Remove(tx.Hash())
+	}
+	p.pool.Prune(p.chain.State())
+	if p.net != nil {
+		p.net.Broadcast(p.id, p2p.Message{Kind: p2p.MsgBlock, Payload: types.EncodeBlock(blk)})
+	}
+	return blk, nil
+}
+
+// ErrStaleSeal reports that the chain advanced while a nonce was being
+// ground; the caller should rebuild on the new head.
+var ErrStaleSeal = errors.New("node: sealed block is stale (head advanced)")
+
+// MineBlock assembles a block from the pending pool on the current head,
+// stamps it with the given timestamp and difficulty, inserts it locally
+// and gossips it. The sealing itself (nonce search or simulated lottery)
+// is the caller's concern: pass the sealed nonce via seal, or 0 for
+// simulated chains that skip the PoW check.
+func (p *ProviderNode) MineBlock(timestamp, difficulty, nonce uint64, maxTxs int) (*types.Block, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	head := p.chain.Head()
+	if timestamp <= head.Header.Time {
+		timestamp = head.Header.Time + 1
+	}
+	txs := p.pool.Pending(p.chain.State(), maxTxs)
+	blk, err := p.chain.BuildBlock(head.ID(), p.wallet.Address(), timestamp, difficulty, txs)
+	if err != nil {
+		return nil, fmt.Errorf("node: build block: %w", err)
+	}
+	blk.Header.Nonce = nonce
+	if _, err := p.chain.InsertBlock(blk); err != nil {
+		return nil, fmt.Errorf("node: insert mined block: %w", err)
+	}
+	p.seenBlocks[blk.ID()] = true
+	for _, tx := range blk.Txs {
+		p.pool.Remove(tx.Hash())
+	}
+	p.pool.Prune(p.chain.State())
+	if p.net != nil {
+		p.net.Broadcast(p.id, p2p.Message{Kind: p2p.MsgBlock, Payload: types.EncodeBlock(blk)})
+	}
+	return blk, nil
+}

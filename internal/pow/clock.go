@@ -1,0 +1,7 @@
+package pow
+
+import "time"
+
+// nowNanos returns a monotonic nanosecond reading. Isolated here so the
+// rest of the package stays free of wall-clock dependencies.
+func nowNanos() int64 { return time.Now().UnixNano() }

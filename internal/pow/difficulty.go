@@ -1,0 +1,61 @@
+package pow
+
+// Difficulty adjustment. The paper fixes difficulty at 0xf00000 for its
+// testnet, but a deployable SmartCrowd must retarget as providers join and
+// leave; we implement the homestead-style rule geth applies, which the
+// paper's substrate inherits.
+
+// DifficultyConfig tunes the retargeting rule.
+type DifficultyConfig struct {
+	// TargetBlockTime is the desired seconds-per-block.
+	TargetBlockTime uint64
+	// BoundDivisor controls the adjustment step (parent/2048 in Ethereum).
+	BoundDivisor uint64
+	// Minimum clamps the difficulty floor.
+	Minimum uint64
+}
+
+// DefaultDifficultyConfig mirrors the paper's environment: ~15-second
+// blocks with Ethereum's step size and the paper's 0xf00000 starting
+// difficulty as the floor.
+func DefaultDifficultyConfig() DifficultyConfig {
+	return DifficultyConfig{
+		TargetBlockTime: 15,
+		BoundDivisor:    2048,
+		Minimum:         0xf00000,
+	}
+}
+
+// NextDifficulty computes a child block's difficulty from its parent, in
+// the style of Ethereum Homestead:
+//
+//	diff = parent + parent/2048 * max(1 - (t_child - t_parent)/target, -99)
+//
+// clamped below by cfg.Minimum.
+func NextDifficulty(cfg DifficultyConfig, parentDifficulty, parentTimeSec, childTimeSec uint64) uint64 {
+	if cfg.BoundDivisor == 0 {
+		cfg.BoundDivisor = 2048
+	}
+	if cfg.TargetBlockTime == 0 {
+		cfg.TargetBlockTime = 15
+	}
+	step := parentDifficulty / cfg.BoundDivisor
+	if step == 0 {
+		step = 1
+	}
+
+	var elapsed uint64
+	if childTimeSec > parentTimeSec {
+		elapsed = childTimeSec - parentTimeSec
+	}
+	factor := int64(1) - int64(elapsed/cfg.TargetBlockTime)
+	if factor < -99 {
+		factor = -99
+	}
+
+	next := int64(parentDifficulty) + int64(step)*factor
+	if next < int64(cfg.Minimum) {
+		return cfg.Minimum
+	}
+	return uint64(next)
+}

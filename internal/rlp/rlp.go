@@ -1,0 +1,256 @@
+// Package rlp implements Recursive Length Prefix encoding, the canonical
+// serialization used by Ethereum for blocks and transactions. SmartCrowd
+// hashes RLP encodings to derive block identifiers, transaction hashes and
+// the report identifiers of Eq. 1, 3 and 5.
+//
+// The API is deliberately explicit: values are built from Item trees
+// (strings and lists) rather than via reflection, which keeps encode/decode
+// deterministic and allocation-light on the consensus hot path.
+package rlp
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Kind discriminates the two RLP item kinds.
+type Kind int
+
+// RLP item kinds.
+const (
+	KindString Kind = iota + 1
+	KindList
+)
+
+// Item is a node in an RLP value tree: either a byte string or a list of
+// items.
+type Item struct {
+	Kind Kind
+	Str  []byte
+	List []Item
+}
+
+// Decoding errors.
+var (
+	ErrTrailingBytes  = errors.New("rlp: trailing bytes after value")
+	ErrTruncated      = errors.New("rlp: input truncated")
+	ErrNonCanonical   = errors.New("rlp: non-canonical encoding")
+	ErrOversizedValue = errors.New("rlp: length prefix exceeds input")
+)
+
+// String builds a string item.
+func String(b []byte) Item { return Item{Kind: KindString, Str: b} }
+
+// Bytes is an alias of String for readability at call sites.
+func Bytes(b []byte) Item { return String(b) }
+
+// Uint64 builds a string item holding the minimal big-endian encoding of v
+// (zero encodes as the empty string, per the Ethereum convention).
+func Uint64(v uint64) Item {
+	if v == 0 {
+		return Item{Kind: KindString}
+	}
+	var buf [8]byte
+	n := 0
+	for i := 7; i >= 0; i-- {
+		buf[7-i] = byte(v >> (8 * i))
+	}
+	for n < 8 && buf[n] == 0 {
+		n++
+	}
+	return Item{Kind: KindString, Str: buf[n:]}
+}
+
+// BigInt builds a string item holding the minimal big-endian encoding of v.
+// Negative values are not representable in RLP and panic.
+func BigInt(v *big.Int) Item {
+	if v == nil || v.Sign() == 0 {
+		return Item{Kind: KindString}
+	}
+	if v.Sign() < 0 {
+		panic("rlp: negative big.Int")
+	}
+	return Item{Kind: KindString, Str: v.Bytes()}
+}
+
+// List builds a list item.
+func List(items ...Item) Item { return Item{Kind: KindList, List: items} }
+
+// AsUint64 interprets a string item as a canonical unsigned integer.
+func (it Item) AsUint64() (uint64, error) {
+	if it.Kind != KindString {
+		return 0, errors.New("rlp: list cannot be an integer")
+	}
+	if len(it.Str) > 8 {
+		return 0, errors.New("rlp: integer overflows uint64")
+	}
+	if len(it.Str) > 0 && it.Str[0] == 0 {
+		return 0, ErrNonCanonical
+	}
+	var v uint64
+	for _, b := range it.Str {
+		v = v<<8 | uint64(b)
+	}
+	return v, nil
+}
+
+// AsBigInt interprets a string item as a canonical unsigned big integer.
+func (it Item) AsBigInt() (*big.Int, error) {
+	if it.Kind != KindString {
+		return nil, errors.New("rlp: list cannot be an integer")
+	}
+	if len(it.Str) > 0 && it.Str[0] == 0 {
+		return nil, ErrNonCanonical
+	}
+	return new(big.Int).SetBytes(it.Str), nil
+}
+
+// Encode serializes the item tree to canonical RLP bytes.
+func Encode(it Item) []byte {
+	return appendItem(nil, it)
+}
+
+func appendItem(dst []byte, it Item) []byte {
+	switch it.Kind {
+	case KindString:
+		return appendString(dst, it.Str)
+	case KindList:
+		var payload []byte
+		for _, sub := range it.List {
+			payload = appendItem(payload, sub)
+		}
+		dst = appendHeader(dst, 0xc0, len(payload))
+		return append(dst, payload...)
+	default:
+		panic(fmt.Sprintf("rlp: invalid item kind %d", it.Kind))
+	}
+}
+
+func appendString(dst, s []byte) []byte {
+	if len(s) == 1 && s[0] < 0x80 {
+		return append(dst, s[0])
+	}
+	dst = appendHeader(dst, 0x80, len(s))
+	return append(dst, s...)
+}
+
+func appendHeader(dst []byte, base byte, length int) []byte {
+	if length < 56 {
+		return append(dst, base+byte(length))
+	}
+	var lenBuf [8]byte
+	n := 0
+	for i := 7; i >= 0; i-- {
+		lenBuf[7-i] = byte(uint64(length) >> (8 * i))
+	}
+	for n < 8 && lenBuf[n] == 0 {
+		n++
+	}
+	dst = append(dst, base+55+byte(8-n))
+	return append(dst, lenBuf[n:]...)
+}
+
+// Decode parses exactly one RLP value from data, rejecting trailing bytes
+// and non-canonical encodings.
+func Decode(data []byte) (Item, error) {
+	it, rest, err := decodeOne(data)
+	if err != nil {
+		return Item{}, err
+	}
+	if len(rest) != 0 {
+		return Item{}, ErrTrailingBytes
+	}
+	return it, nil
+}
+
+func decodeOne(data []byte) (Item, []byte, error) {
+	if len(data) == 0 {
+		return Item{}, nil, ErrTruncated
+	}
+	prefix := data[0]
+	switch {
+	case prefix < 0x80: // single byte
+		return Item{Kind: KindString, Str: data[:1]}, data[1:], nil
+
+	case prefix <= 0xb7: // short string
+		n := int(prefix - 0x80)
+		if len(data) < 1+n {
+			return Item{}, nil, ErrOversizedValue
+		}
+		s := data[1 : 1+n]
+		if n == 1 && s[0] < 0x80 {
+			return Item{}, nil, ErrNonCanonical // should have been a single byte
+		}
+		return Item{Kind: KindString, Str: s}, data[1+n:], nil
+
+	case prefix <= 0xbf: // long string
+		lenLen := int(prefix - 0xb7)
+		n, rest, err := decodeLength(data[1:], lenLen)
+		if err != nil {
+			return Item{}, nil, err
+		}
+		if n < 56 {
+			return Item{}, nil, ErrNonCanonical
+		}
+		if len(rest) < n {
+			return Item{}, nil, ErrOversizedValue
+		}
+		return Item{Kind: KindString, Str: rest[:n]}, rest[n:], nil
+
+	case prefix <= 0xf7: // short list
+		n := int(prefix - 0xc0)
+		if len(data) < 1+n {
+			return Item{}, nil, ErrOversizedValue
+		}
+		return decodeListPayload(data[1:1+n], data[1+n:])
+
+	default: // long list
+		lenLen := int(prefix - 0xf7)
+		n, rest, err := decodeLength(data[1:], lenLen)
+		if err != nil {
+			return Item{}, nil, err
+		}
+		if n < 56 {
+			return Item{}, nil, ErrNonCanonical
+		}
+		if len(rest) < n {
+			return Item{}, nil, ErrOversizedValue
+		}
+		return decodeListPayload(rest[:n], rest[n:])
+	}
+}
+
+func decodeLength(data []byte, lenLen int) (int, []byte, error) {
+	if lenLen > 8 || len(data) < lenLen {
+		return 0, nil, ErrTruncated
+	}
+	if lenLen > 0 && data[0] == 0 {
+		return 0, nil, ErrNonCanonical
+	}
+	var n uint64
+	for _, b := range data[:lenLen] {
+		n = n<<8 | uint64(b)
+	}
+	const maxLen = 1 << 31
+	if n > maxLen {
+		return 0, nil, ErrOversizedValue
+	}
+	return int(n), data[lenLen:], nil
+}
+
+func decodeListPayload(payload, rest []byte) (Item, []byte, error) {
+	items := []Item{}
+	for len(payload) > 0 {
+		var (
+			sub Item
+			err error
+		)
+		sub, payload, err = decodeOne(payload)
+		if err != nil {
+			return Item{}, nil, err
+		}
+		items = append(items, sub)
+	}
+	return Item{Kind: KindList, List: items}, rest, nil
+}

@@ -1,0 +1,244 @@
+package rlp
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/big"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Canonical vectors from the Ethereum wiki RLP specification.
+func TestEncodeVectors(t *testing.T) {
+	cases := []struct {
+		name string
+		item Item
+		want string
+	}{
+		{"dog", String([]byte("dog")), "83646f67"},
+		{"cat-dog list", List(String([]byte("cat")), String([]byte("dog"))), "c88363617483646f67"},
+		{"empty string", String(nil), "80"},
+		{"empty list", List(), "c0"},
+		{"zero", Uint64(0), "80"},
+		{"fifteen", Uint64(15), "0f"},
+		{"1024", Uint64(1024), "820400"},
+		{"set of three", List(List(), List(List()), List(List(), List(List()))), "c7c0c1c0c3c0c1c0"},
+		{
+			"lorem (56 bytes, long string)",
+			String([]byte("Lorem ipsum dolor sit amet, consectetur adipisicing elit")),
+			"b8384c6f72656d20697073756d20646f6c6f722073697420616d65742c20636f6e7365637465747572206164697069736963696e6720656c6974",
+		},
+		{"single byte 0x00", String([]byte{0x00}), "00"},
+		{"single byte 0x7f", String([]byte{0x7f}), "7f"},
+		{"single byte 0x80", String([]byte{0x80}), "8180"},
+	}
+	for _, tc := range cases {
+		got := hex.EncodeToString(Encode(tc.item))
+		if got != tc.want {
+			t.Errorf("%s: encoded %s, want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestDecodeRoundtrip(t *testing.T) {
+	items := []Item{
+		String(nil),
+		String([]byte{0}),
+		String([]byte("hello world")),
+		String(bytes.Repeat([]byte{0xAB}, 100)),
+		Uint64(1<<63 + 5),
+		List(),
+		List(String([]byte("a")), List(Uint64(7), String(nil))),
+		BigInt(new(big.Int).Lsh(big.NewInt(1), 200)),
+	}
+	for i, it := range items {
+		enc := Encode(it)
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("item %d: decode failed: %v", i, err)
+		}
+		if !itemEqual(it, dec) {
+			t.Errorf("item %d: roundtrip mismatch: %#v != %#v", i, it, dec)
+		}
+	}
+}
+
+func itemEqual(a, b Item) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	if a.Kind == KindString {
+		return bytes.Equal(a.Str, b.Str)
+	}
+	if len(a.List) != len(b.List) {
+		return false
+	}
+	for i := range a.List {
+		if !itemEqual(a.List[i], b.List[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty input", ""},
+		{"trailing bytes", "8080"},
+		{"truncated short string", "83646f"},
+		{"truncated long string", "b838aa"},
+		{"non-canonical single byte", "8105"},
+		{"non-canonical long form for short string", "b801ff"},
+		{"length with leading zero", "b90001ff"},
+		{"truncated list payload", "c883636174"},
+		{"truncated length prefix", "b9"},
+	}
+	for _, tc := range cases {
+		data, err := hex.DecodeString(tc.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s: Decode accepted malformed input %s", tc.name, tc.in)
+		}
+	}
+}
+
+func TestUint64Roundtrip(t *testing.T) {
+	f := func(v uint64) bool {
+		it, err := Decode(Encode(Uint64(v)))
+		if err != nil {
+			return false
+		}
+		got, err := it.AsUint64()
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBigIntRoundtrip(t *testing.T) {
+	f := func(hi, lo uint64) bool {
+		v := new(big.Int).SetUint64(hi)
+		v.Lsh(v, 64)
+		v.Or(v, new(big.Int).SetUint64(lo))
+		it, err := Decode(Encode(BigInt(v)))
+		if err != nil {
+			return false
+		}
+		got, err := it.AsBigInt()
+		return err == nil && got.Cmp(v) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBigIntNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("BigInt(-1) did not panic")
+		}
+	}()
+	BigInt(big.NewInt(-1))
+}
+
+func TestAsUint64Errors(t *testing.T) {
+	if _, err := List().AsUint64(); err == nil {
+		t.Error("AsUint64 on a list should fail")
+	}
+	if _, err := String(bytes.Repeat([]byte{1}, 9)).AsUint64(); err == nil {
+		t.Error("AsUint64 on 9-byte string should overflow")
+	}
+	if _, err := String([]byte{0, 1}).AsUint64(); err == nil {
+		t.Error("AsUint64 should reject leading zero")
+	}
+}
+
+// TestEncodeDeterministic: identical trees must encode identically — the
+// property consensus hashing relies on.
+func TestEncodeDeterministic(t *testing.T) {
+	f := func(a []byte, b []byte, n uint8) bool {
+		it := List(String(a), List(String(b), Uint64(uint64(n))))
+		return bytes.Equal(Encode(it), Encode(it))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestArbitraryRoundtrip builds random nested structures and checks
+// encode→decode identity.
+func TestArbitraryRoundtrip(t *testing.T) {
+	f := func(leaves [][]byte, shape uint8) bool {
+		it := buildTree(leaves, int(shape)%3+1)
+		dec, err := Decode(Encode(it))
+		return err == nil && itemEqual(it, dec)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func buildTree(leaves [][]byte, fan int) Item {
+	if len(leaves) == 0 {
+		return List()
+	}
+	if len(leaves) <= fan {
+		items := make([]Item, len(leaves))
+		for i, l := range leaves {
+			items[i] = String(l)
+		}
+		return List(items...)
+	}
+	mid := len(leaves) / 2
+	return List(buildTree(leaves[:mid], fan), buildTree(leaves[mid:], fan))
+}
+
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{0xc8, 0x83, 0x63, 0x61, 0x74, 0x83, 0x64, 0x6f, 0x67})
+	f.Add([]byte{0x80})
+	f.Add([]byte{0xb8, 0x38})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		it, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Valid decodes must re-encode to the identical bytes (canonicality).
+		if !bytes.Equal(Encode(it), data) {
+			t.Fatalf("decode/encode not canonical for %x", data)
+		}
+	})
+}
+
+func TestKindReflectsStructure(t *testing.T) {
+	if got := String([]byte("x")).Kind; got != KindString {
+		t.Errorf("String kind = %v", got)
+	}
+	if got := List().Kind; got != KindList {
+		t.Errorf("List kind = %v", got)
+	}
+	if !reflect.DeepEqual(Bytes([]byte("y")), String([]byte("y"))) {
+		t.Error("Bytes is not an alias of String")
+	}
+}
+
+func BenchmarkEncodeBlockLike(b *testing.B) {
+	// A structure shaped like a SmartCrowd block body: 100 reports of ~200
+	// bytes each.
+	reports := make([]Item, 100)
+	payload := bytes.Repeat([]byte{0x5A}, 200)
+	for i := range reports {
+		reports[i] = List(Uint64(uint64(i)), String(payload))
+	}
+	blk := List(Uint64(123456), String(bytes.Repeat([]byte{1}, 32)), List(reports...))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Encode(blk)
+	}
+}

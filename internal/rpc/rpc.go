@@ -1,0 +1,405 @@
+// Package rpc exposes a SmartCrowd provider node over HTTP/JSON — the
+// counterpart of the Ethereum JSON API the paper's prototype uses for
+// "data interaction between detectors and smart contracts" (§VII).
+// Consumers query release references and balances; detectors submit
+// transactions and fetch light-client proofs.
+//
+// Endpoints:
+//
+//	GET  /status                       chain head summary
+//	GET  /block/{number}               canonical block by height
+//	GET  /balance/{address}            account balance (gwei + ether)
+//	GET  /receipt/{txhash}             canonical transaction receipt
+//	GET  /sra/{id}                     SRA record + detection summary
+//	GET  /reference/{id}               consumer security reference
+//	GET  /proof/{txhash}               Merkle inclusion proof for a tx
+//	POST /tx                           submit a hex-encoded transaction
+package rpc
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"github.com/smartcrowd/smartcrowd/internal/contract"
+	"github.com/smartcrowd/smartcrowd/internal/crypto/merkle"
+	"github.com/smartcrowd/smartcrowd/internal/light"
+	"github.com/smartcrowd/smartcrowd/internal/node"
+	"github.com/smartcrowd/smartcrowd/internal/types"
+	"github.com/smartcrowd/smartcrowd/internal/wallet"
+)
+
+// Server serves the JSON API for one provider node.
+type Server struct {
+	node     *node.ProviderNode
+	contract *contract.Contract
+	mux      *http.ServeMux
+}
+
+// NewServer wires the API around a provider node and the SmartCrowd
+// contract.
+func NewServer(n *node.ProviderNode, c *contract.Contract) *Server {
+	s := &Server{node: n, contract: c, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /status", s.handleStatus)
+	s.mux.HandleFunc("GET /block/{number}", s.handleBlock)
+	s.mux.HandleFunc("GET /balance/{address}", s.handleBalance)
+	s.mux.HandleFunc("GET /receipt/{txhash}", s.handleReceipt)
+	s.mux.HandleFunc("GET /sra/{id}", s.handleSRA)
+	s.mux.HandleFunc("GET /reference/{id}", s.handleReference)
+	s.mux.HandleFunc("GET /proof/{txhash}", s.handleProof)
+	s.mux.HandleFunc("POST /tx", s.handleSubmitTx)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// StatusResponse summarizes the chain head.
+type StatusResponse struct {
+	HeadNumber      uint64 `json:"headNumber"`
+	HeadID          string `json:"headId"`
+	TotalDifficulty uint64 `json:"totalDifficulty"`
+	PendingTxs      int    `json:"pendingTxs"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	c := s.node.Chain()
+	writeJSON(w, http.StatusOK, StatusResponse{
+		HeadNumber:      c.HeadNumber(),
+		HeadID:          c.Head().ID().String(),
+		TotalDifficulty: c.TotalDifficulty(),
+		PendingTxs:      s.node.PoolLen(),
+	})
+}
+
+// BlockResponse is a canonical block summary.
+type BlockResponse struct {
+	Number     uint64   `json:"number"`
+	ID         string   `json:"id"`
+	ParentID   string   `json:"parentId"`
+	Time       uint64   `json:"time"`
+	Difficulty uint64   `json:"difficulty"`
+	Miner      string   `json:"miner"`
+	TxHashes   []string `json:"txHashes"`
+	Reports    int      `json:"reports"`
+}
+
+func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.ParseUint(r.PathValue("number"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("rpc: bad block number: %w", err))
+		return
+	}
+	blk, err := s.node.Chain().BlockByNumber(n)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	resp := BlockResponse{
+		Number:     blk.Header.Number,
+		ID:         blk.ID().String(),
+		ParentID:   blk.Header.ParentID.String(),
+		Time:       blk.Header.Time,
+		Difficulty: blk.Header.Difficulty,
+		Miner:      blk.Header.Miner.String(),
+		Reports:    blk.CountReports(),
+		TxHashes:   make([]string, 0, len(blk.Txs)),
+	}
+	for _, tx := range blk.Txs {
+		resp.TxHashes = append(resp.TxHashes, tx.Hash().String())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// BalanceResponse reports an account balance.
+type BalanceResponse struct {
+	Address string  `json:"address"`
+	GWei    uint64  `json:"gwei"`
+	Ether   float64 `json:"ether"`
+	Nonce   uint64  `json:"nonce"`
+}
+
+func (s *Server) handleBalance(w http.ResponseWriter, r *http.Request) {
+	addr, err := wallet.ParseAddress(r.PathValue("address"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	st := s.node.Chain().State()
+	bal := st.Balance(addr)
+	writeJSON(w, http.StatusOK, BalanceResponse{
+		Address: addr.String(),
+		GWei:    uint64(bal),
+		Ether:   bal.Ether(),
+		Nonce:   st.Nonce(addr),
+	})
+}
+
+// ReceiptResponse reports a transaction outcome.
+type ReceiptResponse struct {
+	TxHash        string `json:"txHash"`
+	Kind          string `json:"kind"`
+	Success       bool   `json:"success"`
+	Error         string `json:"error,omitempty"`
+	GasUsed       uint64 `json:"gasUsed"`
+	FeeGwei       uint64 `json:"feeGwei"`
+	Confirmations uint64 `json:"confirmations"`
+	PaidGwei      uint64 `json:"paidGwei,omitempty"`
+	Accepted      int    `json:"acceptedFindings,omitempty"`
+}
+
+func parseHash(raw string) (types.Hash, error) {
+	raw = strings.TrimPrefix(strings.TrimPrefix(raw, "0x"), "0X")
+	b, err := hex.DecodeString(raw)
+	if err != nil {
+		return types.Hash{}, fmt.Errorf("rpc: bad hash: %w", err)
+	}
+	if len(b) != types.HashSize {
+		return types.Hash{}, fmt.Errorf("rpc: hash must be %d bytes, got %d", types.HashSize, len(b))
+	}
+	var h types.Hash
+	copy(h[:], b)
+	return h, nil
+}
+
+func (s *Server) handleReceipt(w http.ResponseWriter, r *http.Request) {
+	h, err := parseHash(r.PathValue("txhash"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	receipt, err := s.node.Chain().ReceiptOf(h)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ReceiptResponse{
+		TxHash:        h.String(),
+		Kind:          receipt.Kind.String(),
+		Success:       receipt.Success,
+		Error:         receipt.Err,
+		GasUsed:       receipt.GasUsed,
+		FeeGwei:       uint64(receipt.Fee),
+		Confirmations: s.node.Chain().Confirmations(h),
+		PaidGwei:      uint64(receipt.Payout.Paid),
+		Accepted:      len(receipt.Payout.Accepted),
+	})
+}
+
+// SRAResponse is the on-chain record of a release announcement.
+type SRAResponse struct {
+	ID                 string  `json:"id"`
+	Provider           string  `json:"provider"`
+	InsuranceRemaining float64 `json:"insuranceRemainingEther"`
+	BountyEther        float64 `json:"bountyEther"`
+	ReleaseBlock       uint64  `json:"releaseBlock"`
+	ConfirmedVulns     uint64  `json:"confirmedVulns"`
+	Reports            int     `json:"reports"`
+}
+
+func (s *Server) handleSRA(w http.ResponseWriter, r *http.Request) {
+	id, err := parseHash(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	info, err := s.contract.GetSRA(s.node.Chain().State(), id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SRAResponse{
+		ID:                 id.String(),
+		Provider:           info.Provider.String(),
+		InsuranceRemaining: info.InsuranceRemaining.Ether(),
+		BountyEther:        info.Bounty.Ether(),
+		ReleaseBlock:       info.ReleaseBlock,
+		ConfirmedVulns:     info.ConfirmedVulns,
+		Reports:            len(s.node.Chain().DetectionResults(id)),
+	})
+}
+
+// ReferenceResponse is the consumer-facing security verdict.
+type ReferenceResponse struct {
+	ID             string         `json:"id"`
+	Provider       string         `json:"provider"`
+	ConfirmedVulns uint64         `json:"confirmedVulns"`
+	BySeverity     map[string]int `json:"bySeverity"`
+	SafeToDeploy   bool           `json:"safeToDeploy"`
+}
+
+func (s *Server) handleReference(w http.ResponseWriter, r *http.Request) {
+	id, err := parseHash(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	consumer := node.NewConsumer(s.node.Chain(), s.contract, 0)
+	ref, err := consumer.Lookup(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	by := make(map[string]int, len(ref.BySeverity))
+	for sev, n := range ref.BySeverity {
+		by[sev.String()] = n
+	}
+	writeJSON(w, http.StatusOK, ReferenceResponse{
+		ID:             id.String(),
+		Provider:       ref.Provider.String(),
+		ConfirmedVulns: ref.ConfirmedVulns,
+		BySeverity:     by,
+		SafeToDeploy:   ref.SafeToDeploy,
+	})
+}
+
+// ProofResponse carries a light-client inclusion proof.
+type ProofResponse struct {
+	BlockID   string   `json:"blockId"`
+	BlockNum  uint64   `json:"blockNumber"`
+	LeafHex   string   `json:"leafHex"`
+	TxHex     string   `json:"txHex"`
+	LeafIndex int      `json:"leafIndex"`
+	LeafCount int      `json:"leafCount"`
+	Siblings  []string `json:"siblings"` // "L:<hex>" or "R:<hex>"
+}
+
+func (s *Server) handleProof(w http.ResponseWriter, r *http.Request) {
+	h, err := parseHash(r.PathValue("txhash"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	c := s.node.Chain()
+	// Locate the transaction on the canonical chain.
+	for _, blk := range c.CanonicalBlocks() {
+		for i, tx := range blk.Txs {
+			if tx.Hash() != h {
+				continue
+			}
+			proof, err := light.BuildTxProof(blk, i)
+			if err != nil {
+				writeErr(w, http.StatusInternalServerError, err)
+				return
+			}
+			resp := ProofResponse{
+				BlockID:   proof.BlockID.String(),
+				BlockNum:  blk.Header.Number,
+				LeafHex:   hex.EncodeToString(proof.TxBytes),
+				TxHex:     hex.EncodeToString(types.EncodeTx(tx)),
+				LeafIndex: proof.Proof.LeafIndex,
+				LeafCount: proof.Proof.LeafCount,
+			}
+			for _, step := range proof.Proof.Steps {
+				side := "L"
+				if step.Right {
+					side = "R"
+				}
+				resp.Siblings = append(resp.Siblings, side+":"+hex.EncodeToString(step.Sibling[:]))
+			}
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
+	writeErr(w, http.StatusNotFound, errors.New("rpc: transaction not on canonical chain"))
+}
+
+// SubmitRequest is the POST /tx body.
+type SubmitRequest struct {
+	TxHex string `json:"txHex"`
+}
+
+// SubmitResponse acknowledges a pooled transaction.
+type SubmitResponse struct {
+	TxHash string `json:"txHash"`
+	Pooled bool   `json:"pooled"`
+}
+
+func (s *Server) handleSubmitTx(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var req SubmitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("rpc: bad request body: %w", err))
+		return
+	}
+	raw, err := hex.DecodeString(strings.TrimPrefix(req.TxHex, "0x"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("rpc: bad tx hex: %w", err))
+		return
+	}
+	tx, err := types.DecodeTx(raw)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.node.SubmitTx(tx); err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SubmitResponse{TxHash: tx.Hash().String(), Pooled: true})
+}
+
+// ParseProofResponse reconstructs a light.TxProof (and the raw tx body)
+// from a ProofResponse — the client side of GET /proof.
+func ParseProofResponse(resp ProofResponse) (light.TxProof, []byte, error) {
+	blockID, err := parseHash(resp.BlockID)
+	if err != nil {
+		return light.TxProof{}, nil, err
+	}
+	leaf, err := hex.DecodeString(resp.LeafHex)
+	if err != nil {
+		return light.TxProof{}, nil, fmt.Errorf("rpc: bad leaf hex: %w", err)
+	}
+	body, err := hex.DecodeString(resp.TxHex)
+	if err != nil {
+		return light.TxProof{}, nil, fmt.Errorf("rpc: bad tx hex: %w", err)
+	}
+	proof := light.TxProof{
+		BlockID: blockID,
+		TxBytes: leaf,
+	}
+	proof.Proof.LeafIndex = resp.LeafIndex
+	proof.Proof.LeafCount = resp.LeafCount
+	for _, s := range resp.Siblings {
+		if len(s) < 2 || (s[0] != 'L' && s[0] != 'R') || s[1] != ':' {
+			return light.TxProof{}, nil, fmt.Errorf("rpc: bad sibling entry %q", s)
+		}
+		raw, err := hex.DecodeString(s[2:])
+		if err != nil || len(raw) != types.HashSize {
+			return light.TxProof{}, nil, fmt.Errorf("rpc: bad sibling hash %q", s)
+		}
+		var sib merkle.Hash
+		copy(sib[:], raw)
+		proof.Proof.Steps = append(proof.Proof.Steps, merkle.ProofStep{
+			Sibling: sib,
+			Right:   s[0] == 'R',
+		})
+	}
+	return proof, body, nil
+}

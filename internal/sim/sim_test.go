@@ -1,0 +1,351 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/smartcrowd/smartcrowd/internal/pow"
+	"github.com/smartcrowd/smartcrowd/internal/types"
+)
+
+// paperProviders returns the top-5 hashing-power split the paper uses.
+func paperProviders() []ProviderSpec {
+	shares := pow.TopFiveEthereumShares()
+	out := make([]ProviderSpec, len(shares))
+	for i, s := range shares {
+		out[i] = ProviderSpec{Name: s.Name, HashShare: s.HashShare}
+	}
+	return out
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Horizon: time.Minute}); !errors.Is(err, ErrNoProviders) {
+		t.Errorf("err = %v, want ErrNoProviders", err)
+	}
+	if _, err := Run(Config{Providers: paperProviders()}); !errors.Is(err, ErrNoHorizon) {
+		t.Errorf("err = %v, want ErrNoHorizon", err)
+	}
+	if _, err := Run(Config{
+		Providers: paperProviders(),
+		Horizon:   time.Minute,
+		Releases:  []ReleaseSpec{{Provider: 99}},
+	}); err == nil {
+		t.Error("out-of-range release provider accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{
+		Seed:      7,
+		Providers: paperProviders(),
+		Detectors: []DetectorSpec{{Name: "d1", Threads: 2}, {Name: "d2", Threads: 5}},
+		Releases: []ReleaseSpec{{
+			Provider: 2, At: time.Minute,
+			Insurance: types.EtherAmount(1000), Bounty: types.EtherAmount(5), NumVulns: 6,
+		}},
+		Horizon: 20 * time.Minute,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Blocks) != len(b.Blocks) {
+		t.Fatalf("block counts differ: %d vs %d", len(a.Blocks), len(b.Blocks))
+	}
+	for i := range a.Blocks {
+		if a.Blocks[i] != b.Blocks[i] {
+			t.Fatalf("block %d stats differ", i)
+		}
+	}
+	if a.Chain.Head().ID() != b.Chain.Head().ID() {
+		t.Error("final chains diverge between identical runs")
+	}
+	for i := range a.Detectors {
+		if a.DetectorBalance(i) != b.DetectorBalance(i) {
+			t.Error("detector balances diverge")
+		}
+	}
+}
+
+func TestBlockProductionStatistics(t *testing.T) {
+	// An hour of simulated mining: block count ≈ 3600/15.35 ≈ 234 and
+	// winners ∝ hashing power (the Fig. 3 workload, scaled down).
+	res, err := Run(Config{
+		Seed:      11,
+		Providers: paperProviders(),
+		Horizon:   4 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := 4 * 3600 / 15.35
+	if got := float64(len(res.Blocks)); math.Abs(got-expected)/expected > 0.15 {
+		t.Errorf("blocks = %v, want ≈ %v", got, expected)
+	}
+	wins := make([]int, 5)
+	for _, b := range res.Blocks {
+		wins[b.Miner]++
+	}
+	if wins[0] <= wins[4] {
+		t.Errorf("26.3%% provider (%d wins) should out-mine 10.1%% provider (%d wins)", wins[0], wins[4])
+	}
+	// Every block pays the 5-ether reward to its miner.
+	for i := range res.Providers {
+		bal := res.ProviderBalance(i)
+		if bal.Mining != types.EtherAmount(5)*types.Amount(bal.Blocks) {
+			t.Errorf("provider %d mining income %s over %d blocks", i, bal.Mining, bal.Blocks)
+		}
+	}
+}
+
+func TestDetectionLifecycleInSim(t *testing.T) {
+	res, err := Run(Config{
+		Seed:      3,
+		Providers: paperProviders(),
+		Detectors: []DetectorSpec{
+			{Name: "slow", Threads: 1},
+			{Name: "fast", Threads: 8},
+		},
+		Releases: []ReleaseSpec{{
+			Provider: 2, At: 30 * time.Second,
+			Insurance: types.EtherAmount(1000), Bounty: types.EtherAmount(5), NumVulns: 8,
+		}},
+		Horizon:      time.Hour,
+		MeanFindTime: 2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SRAs) != 1 {
+		t.Fatalf("SRAs = %d", len(res.SRAs))
+	}
+	sra := res.SRAs[0]
+	// Both detectors have capability 1 and an hour: every vulnerability
+	// should be found and claimed once.
+	if sra.Confirmed != 8 {
+		t.Errorf("confirmed %d of 8 vulnerabilities", sra.Confirmed)
+	}
+	if sra.PaidOut != types.EtherAmount(40) {
+		t.Errorf("paid out %s, want 40 ETH (8×5)", sra.PaidOut)
+	}
+	// Releasing provider was punished by exactly the payout.
+	if got := res.ProviderBalance(2).Punishment; got != sra.PaidOut {
+		t.Errorf("punishment %s != payout %s", got, sra.PaidOut)
+	}
+	// Detector earnings sum to the payout.
+	total := res.DetectorBalance(0).Bounty + res.DetectorBalance(1).Bounty
+	if total != sra.PaidOut {
+		t.Errorf("detector bounties %s != payout %s", total, sra.PaidOut)
+	}
+	// The consumer-facing view agrees.
+	info, err := res.Contract.GetSRA(res.Chain.State(), sra.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ConfirmedVulns != 8 {
+		t.Errorf("contract records %d vulns", info.ConfirmedVulns)
+	}
+	if info.InsuranceRemaining != types.EtherAmount(960) {
+		t.Errorf("insurance remaining %s", info.InsuranceRemaining)
+	}
+}
+
+func TestCapabilityProportionalEarnings(t *testing.T) {
+	// The Fig. 6(a) mechanism: per-vulnerability exponential races make
+	// expected claims proportional to thread counts. With 1 vs 7 threads
+	// over many vulnerabilities, the fast detector must claim several
+	// times the slow one's count.
+	res, err := Run(Config{
+		Seed:      19,
+		Providers: paperProviders(),
+		Detectors: []DetectorSpec{
+			{Name: "t1", Threads: 1},
+			{Name: "t7", Threads: 7},
+		},
+		Releases: []ReleaseSpec{{
+			Provider: 2, At: time.Minute,
+			Insurance: types.EtherAmount(4000), Bounty: types.EtherAmount(5), NumVulns: 100,
+		}},
+		Horizon:      3 * time.Hour,
+		MeanFindTime: 2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := float64(res.DetectorBalance(0).Accepted)
+	fast := float64(res.DetectorBalance(1).Accepted)
+	if slow+fast < 95 {
+		t.Fatalf("only %v claims confirmed of 100", slow+fast)
+	}
+	ratio := fast / math.Max(slow, 1)
+	if ratio < 3.5 {
+		t.Errorf("fast/slow claim ratio %.2f; expected ≈7 (capability-proportional)", ratio)
+	}
+}
+
+func TestDuplicateClaimsRejectedButCostGas(t *testing.T) {
+	// Both detectors find everything; the loser of each race still reveals
+	// and pays gas — the ρ_i < 1 share of Eq. 10.
+	res, err := Run(Config{
+		Seed:      23,
+		Providers: paperProviders(),
+		Detectors: []DetectorSpec{
+			{Name: "a", Threads: 4},
+			{Name: "b", Threads: 4},
+		},
+		Releases: []ReleaseSpec{{
+			Provider: 0, At: time.Minute,
+			Insurance: types.EtherAmount(1000), Bounty: types.EtherAmount(5), NumVulns: 10,
+		}},
+		Horizon: 2 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := res.DetectorBalance(0), res.DetectorBalance(1)
+	if a.Accepted+b.Accepted != 10 {
+		t.Fatalf("confirmed %d of 10", a.Accepted+b.Accepted)
+	}
+	// Both paid gas; both submitted ~10 report pairs.
+	if a.Gas == 0 || b.Gas == 0 {
+		t.Error("a racing detector paid no gas")
+	}
+	// Total bounty = 50 ether split between them.
+	if a.Bounty+b.Bounty != types.EtherAmount(50) {
+		t.Errorf("bounties %s + %s != 50 ETH", a.Bounty, b.Bounty)
+	}
+}
+
+func TestReportCostsMatchPaperScale(t *testing.T) {
+	// Fig. 6(b): each detection report costs ≈0.011 ether at 50 gwei; an
+	// SRA deployment ≈0.095 ether.
+	res, err := Run(Config{
+		Seed:      29,
+		Providers: paperProviders(),
+		Detectors: []DetectorSpec{{Name: "d", Threads: 4}},
+		Releases: []ReleaseSpec{{
+			Provider: 1, At: time.Minute,
+			Insurance: types.EtherAmount(1000), Bounty: types.EtherAmount(5), NumVulns: 5,
+		}},
+		Horizon: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.DetectorBalance(0)
+	// 5 vulns → 5 R† + 5 R* = 10 report txs at ~0.0055 each (110k×50gwei).
+	perReport := d.Gas.Ether() / 10
+	if perReport < 0.004 || perReport > 0.015 {
+		t.Errorf("per-report cost %.4f ether, want the paper's ~0.011 scale", perReport)
+	}
+	// Provider 1 paid SRA gas ≈ 0.095.
+	p := res.ProviderBalance(1)
+	if math.Abs(p.Gas.Ether()-0.095) > 0.001 {
+		t.Errorf("SRA deploy cost %.4f ether, want ≈0.095", p.Gas.Ether())
+	}
+	// Costs are negligible next to incentives (the paper's observation).
+	if d.Bounty.Ether() < 10*d.Gas.Ether() {
+		t.Errorf("bounty %.3f not ≫ gas %.3f", d.Bounty.Ether(), d.Gas.Ether())
+	}
+}
+
+func TestMultipleReleasesAcrossProviders(t *testing.T) {
+	res, err := Run(Config{
+		Seed:      31,
+		Providers: paperProviders(),
+		Detectors: []DetectorSpec{{Name: "d", Threads: 8}},
+		Releases: []ReleaseSpec{
+			{Provider: 0, At: time.Minute, Insurance: types.EtherAmount(500), Bounty: types.EtherAmount(5), NumVulns: 3},
+			{Provider: 3, At: 5 * time.Minute, Insurance: types.EtherAmount(800), Bounty: types.EtherAmount(10), NumVulns: 2},
+		},
+		Horizon: 2 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SRAs) != 2 {
+		t.Fatalf("SRAs = %d", len(res.SRAs))
+	}
+	if res.SRAs[0].PaidOut != types.EtherAmount(15) {
+		t.Errorf("SRA0 paid %s, want 15", res.SRAs[0].PaidOut)
+	}
+	if res.SRAs[1].PaidOut != types.EtherAmount(20) {
+		t.Errorf("SRA1 paid %s, want 20", res.SRAs[1].PaidOut)
+	}
+	if res.ProviderBalance(0).Punishment != types.EtherAmount(15) ||
+		res.ProviderBalance(3).Punishment != types.EtherAmount(20) {
+		t.Error("punishments misattributed across providers")
+	}
+}
+
+func TestNoDetectorsMeansNoPunishment(t *testing.T) {
+	res, err := Run(Config{
+		Seed:      37,
+		Providers: paperProviders(),
+		Releases: []ReleaseSpec{{
+			Provider: 0, At: time.Minute,
+			Insurance: types.EtherAmount(1000), Bounty: types.EtherAmount(5), NumVulns: 10,
+		}},
+		Horizon: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SRAs[0].PaidOut != 0 {
+		t.Error("payout without detectors")
+	}
+	if res.ProviderBalance(0).Punishment != 0 {
+		t.Error("punishment without detectors")
+	}
+}
+
+func TestBlockIntervalDistribution(t *testing.T) {
+	res, err := Run(Config{
+		Seed:      41,
+		Providers: paperProviders(),
+		Horizon:   8 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, b := range res.Blocks {
+		sum += b.Interval.Seconds()
+	}
+	mean := sum / float64(len(res.Blocks))
+	if math.Abs(mean-15.35) > 1.5 {
+		t.Errorf("mean interval %.2fs, want ≈15.35s", mean)
+	}
+}
+
+// TestSubMillisecondSealingIntervals regression-tests the timestamp clamp:
+// with a tiny mean block time, consecutive sealing events can land inside
+// the same millisecond and must still produce strictly increasing block
+// timestamps.
+func TestSubMillisecondSealingIntervals(t *testing.T) {
+	res, err := Run(Config{
+		Seed:          99,
+		Providers:     paperProviders(),
+		Horizon:       50 * time.Millisecond,
+		MeanBlockTime: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blocks) < 10 {
+		t.Fatalf("only %d blocks sealed", len(res.Blocks))
+	}
+	blocks := res.Chain.CanonicalBlocks()
+	for i := 1; i < len(blocks); i++ {
+		if blocks[i].Header.Time <= blocks[i-1].Header.Time {
+			t.Fatalf("block %d time %d not after parent %d",
+				i, blocks[i].Header.Time, blocks[i-1].Header.Time)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+// Package state implements the account state of the SmartCrowd chain:
+// balances (in gwei), nonces, contract code and contract storage, with a
+// journal that supports cheap snapshot/revert — required both by the SCVM
+// (failed calls revert their effects) and by chain reorganizations.
+package state
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/smartcrowd/smartcrowd/internal/crypto/keccak"
+	"github.com/smartcrowd/smartcrowd/internal/types"
+)
+
+// Account is the mutable record for one address.
+type Account struct {
+	Balance types.Amount
+	Nonce   uint64
+	Code    []byte
+	Storage map[types.Hash]types.Hash
+}
+
+func (a *Account) clone() *Account {
+	cp := &Account{Balance: a.Balance, Nonce: a.Nonce}
+	if a.Code != nil {
+		cp.Code = append([]byte(nil), a.Code...)
+	}
+	if a.Storage != nil {
+		cp.Storage = make(map[types.Hash]types.Hash, len(a.Storage))
+		for k, v := range a.Storage {
+			cp.Storage[k] = v
+		}
+	}
+	return cp
+}
+
+// empty reports whether the account holds no value, code or state and can
+// be pruned from the root computation.
+func (a *Account) empty() bool {
+	return a.Balance == 0 && a.Nonce == 0 && len(a.Code) == 0 && len(a.Storage) == 0
+}
+
+// State errors.
+var (
+	ErrInsufficientBalance = errors.New("state: insufficient balance")
+	ErrBalanceOverflow     = errors.New("state: balance overflow")
+	ErrBadSnapshot         = errors.New("state: invalid snapshot id")
+)
+
+// journalEntry records how to undo one mutation.
+type journalEntry struct {
+	addr types.Address
+	// prev is the account value before the mutation; nil means the account
+	// did not exist.
+	prev *Account
+}
+
+// DB is the in-memory account state. The zero value is not usable; call
+// New. DB is not safe for concurrent mutation; each node owns its state.
+type DB struct {
+	accounts map[types.Address]*Account
+	journal  []journalEntry
+	// snapshots holds journal lengths for open snapshots.
+	snapshots []int
+}
+
+// New creates an empty state.
+func New() *DB {
+	return &DB{accounts: make(map[types.Address]*Account)}
+}
+
+// Copy returns a deep copy sharing nothing with the original. Reorgs use
+// this to rebuild state on a fork without disturbing the canonical state.
+func (db *DB) Copy() *DB {
+	cp := New()
+	for addr, acc := range db.accounts {
+		cp.accounts[addr] = acc.clone()
+	}
+	return cp
+}
+
+// touch records the pre-state of addr in the journal before mutation.
+func (db *DB) touch(addr types.Address) *Account {
+	acc, ok := db.accounts[addr]
+	if ok {
+		db.journal = append(db.journal, journalEntry{addr: addr, prev: acc.clone()})
+		return acc
+	}
+	db.journal = append(db.journal, journalEntry{addr: addr, prev: nil})
+	acc = &Account{}
+	db.accounts[addr] = acc
+	return acc
+}
+
+// Snapshot opens a revert point and returns its id.
+func (db *DB) Snapshot() int {
+	db.snapshots = append(db.snapshots, len(db.journal))
+	return len(db.snapshots) - 1
+}
+
+// RevertToSnapshot undoes every mutation made after the snapshot was taken.
+// Snapshots opened after id are discarded.
+func (db *DB) RevertToSnapshot(id int) error {
+	if id < 0 || id >= len(db.snapshots) {
+		return fmt.Errorf("%w: %d", ErrBadSnapshot, id)
+	}
+	target := db.snapshots[id]
+	for len(db.journal) > target {
+		entry := db.journal[len(db.journal)-1]
+		db.journal = db.journal[:len(db.journal)-1]
+		if entry.prev == nil {
+			delete(db.accounts, entry.addr)
+		} else {
+			db.accounts[entry.addr] = entry.prev
+		}
+	}
+	db.snapshots = db.snapshots[:id]
+	return nil
+}
+
+// DiscardSnapshots commits all outstanding snapshots (keeps the mutations)
+// and clears the journal. Called at block boundaries.
+func (db *DB) DiscardSnapshots() {
+	db.journal = db.journal[:0]
+	db.snapshots = db.snapshots[:0]
+}
+
+// Balance returns the balance of addr (zero for unknown accounts).
+func (db *DB) Balance(addr types.Address) types.Amount {
+	if acc, ok := db.accounts[addr]; ok {
+		return acc.Balance
+	}
+	return 0
+}
+
+// Nonce returns the next expected transaction nonce for addr.
+func (db *DB) Nonce(addr types.Address) uint64 {
+	if acc, ok := db.accounts[addr]; ok {
+		return acc.Nonce
+	}
+	return 0
+}
+
+// SetNonce sets the account nonce.
+func (db *DB) SetNonce(addr types.Address, nonce uint64) {
+	db.touch(addr).Nonce = nonce
+}
+
+// Credit adds value to addr's balance.
+func (db *DB) Credit(addr types.Address, value types.Amount) error {
+	acc := db.touch(addr)
+	if acc.Balance+value < acc.Balance {
+		return fmt.Errorf("%w: %s", ErrBalanceOverflow, addr)
+	}
+	acc.Balance += value
+	return nil
+}
+
+// Debit removes value from addr's balance, failing without mutation if the
+// balance is insufficient.
+func (db *DB) Debit(addr types.Address, value types.Amount) error {
+	if db.Balance(addr) < value {
+		return fmt.Errorf("%w: %s has %s, needs %s", ErrInsufficientBalance,
+			addr, db.Balance(addr), value)
+	}
+	db.touch(addr).Balance -= value
+	return nil
+}
+
+// Transfer moves value from one account to another atomically.
+func (db *DB) Transfer(from, to types.Address, value types.Amount) error {
+	if err := db.Debit(from, value); err != nil {
+		return err
+	}
+	return db.Credit(to, value)
+}
+
+// Code returns a copy of the contract code at addr (nil for plain
+// accounts). Copying keeps callers from mutating consensus state.
+func (db *DB) Code(addr types.Address) []byte {
+	if acc, ok := db.accounts[addr]; ok && acc.Code != nil {
+		return append([]byte(nil), acc.Code...)
+	}
+	return nil
+}
+
+// SetCode installs contract code at addr.
+func (db *DB) SetCode(addr types.Address, code []byte) {
+	db.touch(addr).Code = append([]byte(nil), code...)
+}
+
+// GetStorage reads a contract storage slot.
+func (db *DB) GetStorage(addr types.Address, key types.Hash) types.Hash {
+	if acc, ok := db.accounts[addr]; ok && acc.Storage != nil {
+		return acc.Storage[key]
+	}
+	return types.Hash{}
+}
+
+// SetStorage writes a contract storage slot. Writing the zero hash deletes
+// the slot.
+func (db *DB) SetStorage(addr types.Address, key, value types.Hash) {
+	acc := db.touch(addr)
+	if acc.Storage == nil {
+		acc.Storage = make(map[types.Hash]types.Hash)
+	}
+	if value.IsZero() {
+		delete(acc.Storage, key)
+		return
+	}
+	acc.Storage[key] = value
+}
+
+// Exists reports whether addr has any state.
+func (db *DB) Exists(addr types.Address) bool {
+	acc, ok := db.accounts[addr]
+	return ok && !acc.empty()
+}
+
+// Accounts returns all non-empty addresses in deterministic order.
+func (db *DB) Accounts() []types.Address {
+	out := make([]types.Address, 0, len(db.accounts))
+	for addr, acc := range db.accounts {
+		if !acc.empty() {
+			out = append(out, addr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return lessAddr(out[i], out[j]) })
+	return out
+}
+
+func lessAddr(a, b types.Address) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// Root computes a deterministic commitment to the entire state: the
+// Keccak-256 over the sorted (address, balance, nonce, code hash, sorted
+// storage) sequence. A full Merkle-Patricia trie is unnecessary for
+// SmartCrowd: blocks commit to the root, and every full node recomputes it
+// after executing the block.
+func (db *DB) Root() types.Hash {
+	h := keccak.New256()
+	var u64 [8]byte
+	writeU64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			u64[i] = byte(v >> (56 - 8*i))
+		}
+		_, _ = h.Write(u64[:])
+	}
+	for _, addr := range db.Accounts() {
+		acc := db.accounts[addr]
+		_, _ = h.Write(addr[:])
+		writeU64(uint64(acc.Balance))
+		writeU64(acc.Nonce)
+		codeHash := keccak.Sum256(acc.Code)
+		_, _ = h.Write(codeHash[:])
+		keys := make([]types.Hash, 0, len(acc.Storage))
+		for k := range acc.Storage {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return lessHash(keys[i], keys[j]) })
+		writeU64(uint64(len(keys)))
+		for _, k := range keys {
+			v := acc.Storage[k]
+			_, _ = h.Write(k[:])
+			_, _ = h.Write(v[:])
+		}
+	}
+	var root types.Hash
+	copy(root[:], h.Sum(nil))
+	return root
+}
+
+func lessHash(a, b types.Hash) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,226 @@
+// Package txpool implements the pending-transaction pool mining providers
+// draw from when assembling SmartCrowd blocks. Transactions are kept per
+// sender in nonce order; block assembly selects by gas price (highest
+// first) while respecting nonce sequencing, mirroring geth's pending pool.
+package txpool
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/smartcrowd/smartcrowd/internal/types"
+)
+
+// Pool errors.
+var (
+	ErrKnownTx      = errors.New("txpool: transaction already pooled")
+	ErrUnderpriced  = errors.New("txpool: replacement transaction underpriced")
+	ErrPoolFull     = errors.New("txpool: pool capacity reached")
+	ErrNonceTooLow  = errors.New("txpool: nonce below sender's confirmed nonce")
+	ErrInvalidTx    = errors.New("txpool: transaction failed validation")
+	ErrUnaffordable = errors.New("txpool: sender balance below transaction cost")
+)
+
+// StateReader supplies the account facts admission control needs.
+type StateReader interface {
+	Nonce(types.Address) uint64
+	Balance(types.Address) types.Amount
+}
+
+// Config tunes the pool.
+type Config struct {
+	// Capacity bounds the total pooled transactions (0 = 4096).
+	Capacity int
+	// PriceBump is the minimum percent gas-price increase for replacing a
+	// same-nonce transaction (0 = 10).
+	PriceBump int
+}
+
+// Pool is a thread-safe pending pool.
+type Pool struct {
+	mu        sync.Mutex
+	cfg       Config
+	perSender map[types.Address]map[uint64]*types.Transaction // nonce → tx
+	byHash    map[types.Hash]*types.Transaction
+	// arrival orders same-price transactions first-come-first-served at
+	// block assembly, as geth does.
+	arrival map[types.Hash]uint64
+	seq     uint64
+}
+
+// New creates an empty pool.
+func New(cfg Config) *Pool {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 4096
+	}
+	if cfg.PriceBump <= 0 {
+		cfg.PriceBump = 10
+	}
+	return &Pool{
+		cfg:       cfg,
+		perSender: make(map[types.Address]map[uint64]*types.Transaction),
+		byHash:    make(map[types.Hash]*types.Transaction),
+		arrival:   make(map[types.Hash]uint64),
+	}
+}
+
+// Add admits a transaction after stateless validation and solvency checks
+// against the supplied state view.
+func (p *Pool) Add(tx *types.Transaction, st StateReader) error {
+	if err := tx.ValidateBasic(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidTx, err)
+	}
+	sender := tx.From
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	if _, known := p.byHash[tx.Hash()]; known {
+		return ErrKnownTx
+	}
+	if st != nil {
+		if tx.Nonce < st.Nonce(sender) {
+			return fmt.Errorf("%w: confirmed %d, tx %d", ErrNonceTooLow, st.Nonce(sender), tx.Nonce)
+		}
+		if st.Balance(sender) < tx.Cost() {
+			return fmt.Errorf("%w: balance %s, cost %s", ErrUnaffordable, st.Balance(sender), tx.Cost())
+		}
+	}
+
+	bucket := p.perSender[sender]
+	if existing, ok := bucket[tx.Nonce]; ok {
+		// Same-nonce replacement requires a meaningful price bump.
+		threshold := existing.GasPrice + existing.GasPrice*types.Amount(p.cfg.PriceBump)/100
+		if tx.GasPrice < threshold {
+			return fmt.Errorf("%w: have %s, need ≥ %s", ErrUnderpriced, tx.GasPrice, threshold)
+		}
+		delete(p.byHash, existing.Hash())
+	} else if len(p.byHash) >= p.cfg.Capacity {
+		return ErrPoolFull
+	}
+
+	if bucket == nil {
+		bucket = make(map[uint64]*types.Transaction)
+		p.perSender[sender] = bucket
+	}
+	bucket[tx.Nonce] = tx
+	p.byHash[tx.Hash()] = tx
+	p.seq++
+	p.arrival[tx.Hash()] = p.seq
+	return nil
+}
+
+// Has reports whether the pool holds the transaction.
+func (p *Pool) Has(hash types.Hash) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.byHash[hash]
+	return ok
+}
+
+// Len returns the number of pooled transactions.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.byHash)
+}
+
+// Remove drops a transaction (e.g. after inclusion in a block).
+func (p *Pool) Remove(hash types.Hash) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.removeLocked(hash)
+}
+
+func (p *Pool) removeLocked(hash types.Hash) {
+	tx, ok := p.byHash[hash]
+	if !ok {
+		return
+	}
+	delete(p.byHash, hash)
+	bucket := p.perSender[tx.From]
+	delete(bucket, tx.Nonce)
+	if len(bucket) == 0 {
+		delete(p.perSender, tx.From)
+	}
+}
+
+// Prune drops every transaction whose nonce is now below the sender's
+// confirmed nonce (called after a new block lands).
+func (p *Pool) Prune(st StateReader) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for sender, bucket := range p.perSender {
+		confirmed := st.Nonce(sender)
+		for nonce, tx := range bucket {
+			if nonce < confirmed {
+				delete(p.byHash, tx.Hash())
+				delete(p.arrival, tx.Hash())
+				delete(bucket, nonce)
+			}
+		}
+		if len(bucket) == 0 {
+			delete(p.perSender, sender)
+		}
+	}
+}
+
+// Pending selects up to maxTxs transactions for block assembly: senders'
+// transactions stay nonce-ordered, and across senders higher-fee
+// transactions win. Transactions whose nonce does not chain onto the
+// sender's confirmed nonce are skipped (gapped).
+func (p *Pool) Pending(st StateReader, maxTxs int) []*types.Transaction {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	// Build per-sender runnable queues: consecutive nonces starting at the
+	// confirmed nonce.
+	type queue struct {
+		txs []*types.Transaction
+	}
+	queues := make([]*queue, 0, len(p.perSender))
+	for sender, bucket := range p.perSender {
+		start := uint64(0)
+		if st != nil {
+			start = st.Nonce(sender)
+		}
+		q := &queue{}
+		for n := start; ; n++ {
+			tx, ok := bucket[n]
+			if !ok {
+				break
+			}
+			q.txs = append(q.txs, tx)
+		}
+		if len(q.txs) > 0 {
+			queues = append(queues, q)
+		}
+	}
+
+	// Deterministic order: sort queues by head gas price desc, tie-break
+	// by head hash.
+	var out []*types.Transaction
+	for len(out) < maxTxs || maxTxs <= 0 {
+		sort.Slice(queues, func(i, j int) bool {
+			a, b := queues[i].txs[0], queues[j].txs[0]
+			if a.GasPrice != b.GasPrice {
+				return a.GasPrice > b.GasPrice
+			}
+			return p.arrival[a.Hash()] < p.arrival[b.Hash()]
+		})
+		if len(queues) == 0 {
+			break
+		}
+		out = append(out, queues[0].txs[0])
+		queues[0].txs = queues[0].txs[1:]
+		if len(queues[0].txs) == 0 {
+			queues = queues[1:]
+		}
+		if maxTxs > 0 && len(out) >= maxTxs {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+package txpool
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/smartcrowd/smartcrowd/internal/types"
+	"github.com/smartcrowd/smartcrowd/internal/wallet"
+)
+
+// fakeState is a StateReader with fixed values.
+type fakeState struct {
+	nonces   map[types.Address]uint64
+	balances map[types.Address]types.Amount
+}
+
+func (f *fakeState) Nonce(a types.Address) uint64 { return f.nonces[a] }
+func (f *fakeState) Balance(a types.Address) types.Amount {
+	if f.balances == nil {
+		return types.EtherAmount(1_000_000)
+	}
+	return f.balances[a]
+}
+
+func newFakeState() *fakeState {
+	return &fakeState{nonces: make(map[types.Address]uint64)}
+}
+
+func signedTx(t *testing.T, w *wallet.Wallet, nonce uint64, gasPrice types.Amount) *types.Transaction {
+	t.Helper()
+	tx := &types.Transaction{
+		Kind:     types.TxTransfer,
+		Nonce:    nonce,
+		To:       types.Address{1},
+		Value:    1,
+		GasLimit: 21_000,
+		GasPrice: gasPrice,
+	}
+	if err := types.SignTx(tx, w); err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+func TestAddAndPending(t *testing.T) {
+	p := New(Config{})
+	st := newFakeState()
+	alice := wallet.NewDeterministic("alice")
+	tx := signedTx(t, alice, 0, 50)
+	if err := p.Add(tx, st); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Has(tx.Hash()) || p.Len() != 1 {
+		t.Error("pool does not hold the tx")
+	}
+	got := p.Pending(st, 10)
+	if len(got) != 1 || got[0].Hash() != tx.Hash() {
+		t.Error("Pending did not return the tx")
+	}
+}
+
+func TestAddRejectsDuplicates(t *testing.T) {
+	p := New(Config{})
+	st := newFakeState()
+	alice := wallet.NewDeterministic("alice")
+	tx := signedTx(t, alice, 0, 50)
+	if err := p.Add(tx, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(tx, st); !errors.Is(err, ErrKnownTx) {
+		t.Errorf("err = %v, want ErrKnownTx", err)
+	}
+}
+
+func TestAddRejectsInvalid(t *testing.T) {
+	p := New(Config{})
+	alice := wallet.NewDeterministic("alice")
+	tx := signedTx(t, alice, 0, 50)
+	tx.Value = 999 // break signature
+	if err := p.Add(tx, newFakeState()); !errors.Is(err, ErrInvalidTx) {
+		t.Errorf("err = %v, want ErrInvalidTx", err)
+	}
+}
+
+func TestAddRejectsStaleNonce(t *testing.T) {
+	p := New(Config{})
+	st := newFakeState()
+	alice := wallet.NewDeterministic("alice")
+	st.nonces[alice.Address()] = 5
+	if err := p.Add(signedTx(t, alice, 4, 50), st); !errors.Is(err, ErrNonceTooLow) {
+		t.Errorf("err = %v, want ErrNonceTooLow", err)
+	}
+}
+
+func TestAddRejectsUnaffordable(t *testing.T) {
+	p := New(Config{})
+	alice := wallet.NewDeterministic("alice")
+	st := &fakeState{
+		nonces:   map[types.Address]uint64{},
+		balances: map[types.Address]types.Amount{alice.Address(): 10},
+	}
+	if err := p.Add(signedTx(t, alice, 0, 50), st); !errors.Is(err, ErrUnaffordable) {
+		t.Errorf("err = %v, want ErrUnaffordable", err)
+	}
+}
+
+func TestReplacementNeedsPriceBump(t *testing.T) {
+	p := New(Config{PriceBump: 10})
+	st := newFakeState()
+	alice := wallet.NewDeterministic("alice")
+	if err := p.Add(signedTx(t, alice, 0, 100), st); err != nil {
+		t.Fatal(err)
+	}
+	// +5% is not enough.
+	if err := p.Add(signedTx(t, alice, 0, 105), st); !errors.Is(err, ErrUnderpriced) {
+		t.Errorf("err = %v, want ErrUnderpriced", err)
+	}
+	// +10% replaces.
+	better := signedTx(t, alice, 0, 110)
+	if err := p.Add(better, st); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1 {
+		t.Errorf("pool has %d txs after replacement, want 1", p.Len())
+	}
+	got := p.Pending(st, 1)
+	if got[0].GasPrice != 110 {
+		t.Error("replacement not effective")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	p := New(Config{Capacity: 2})
+	st := newFakeState()
+	alice := wallet.NewDeterministic("alice")
+	if err := p.Add(signedTx(t, alice, 0, 50), st); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(signedTx(t, alice, 1, 50), st); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(signedTx(t, alice, 2, 50), st); !errors.Is(err, ErrPoolFull) {
+		t.Errorf("err = %v, want ErrPoolFull", err)
+	}
+}
+
+func TestPendingRespectsNonceOrderWithinSender(t *testing.T) {
+	p := New(Config{})
+	st := newFakeState()
+	alice := wallet.NewDeterministic("alice")
+	// Insert out of order, with the later nonce priced higher.
+	tx1 := signedTx(t, alice, 1, 500)
+	tx0 := signedTx(t, alice, 0, 10)
+	if err := p.Add(tx1, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(tx0, st); err != nil {
+		t.Fatal(err)
+	}
+	got := p.Pending(st, 10)
+	if len(got) != 2 || got[0].Nonce != 0 || got[1].Nonce != 1 {
+		t.Errorf("pending order broken: %v", []uint64{got[0].Nonce, got[1].Nonce})
+	}
+}
+
+func TestPendingSkipsGappedNonces(t *testing.T) {
+	p := New(Config{})
+	st := newFakeState()
+	alice := wallet.NewDeterministic("alice")
+	if err := p.Add(signedTx(t, alice, 2, 50), st); err != nil { // gap: 0,1 missing
+		t.Fatal(err)
+	}
+	if got := p.Pending(st, 10); len(got) != 0 {
+		t.Errorf("gapped tx selected: %d", len(got))
+	}
+}
+
+func TestPendingPrefersHigherFeeAcrossSenders(t *testing.T) {
+	p := New(Config{})
+	st := newFakeState()
+	alice := wallet.NewDeterministic("alice")
+	bob := wallet.NewDeterministic("bob")
+	if err := p.Add(signedTx(t, alice, 0, 10), st); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(signedTx(t, bob, 0, 90), st); err != nil {
+		t.Fatal(err)
+	}
+	got := p.Pending(st, 1)
+	if got[0].From != bob.Address() {
+		t.Error("lower-fee tx selected first")
+	}
+}
+
+func TestPendingLimit(t *testing.T) {
+	p := New(Config{})
+	st := newFakeState()
+	alice := wallet.NewDeterministic("alice")
+	for n := uint64(0); n < 5; n++ {
+		if err := p.Add(signedTx(t, alice, n, 50), st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.Pending(st, 3); len(got) != 3 {
+		t.Errorf("limit ignored: %d", len(got))
+	}
+	if got := p.Pending(st, 0); len(got) != 5 {
+		t.Errorf("unlimited pending = %d, want 5", len(got))
+	}
+}
+
+func TestRemoveAndPrune(t *testing.T) {
+	p := New(Config{})
+	st := newFakeState()
+	alice := wallet.NewDeterministic("alice")
+	tx0 := signedTx(t, alice, 0, 50)
+	tx1 := signedTx(t, alice, 1, 50)
+	if err := p.Add(tx0, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(tx1, st); err != nil {
+		t.Fatal(err)
+	}
+
+	p.Remove(tx0.Hash())
+	if p.Has(tx0.Hash()) || p.Len() != 1 {
+		t.Error("Remove failed")
+	}
+
+	// The chain advanced: alice's confirmed nonce is now 2.
+	st.nonces[alice.Address()] = 2
+	p.Prune(st)
+	if p.Len() != 0 {
+		t.Errorf("Prune left %d stale txs", p.Len())
+	}
+}
+
+func TestPendingDeterministic(t *testing.T) {
+	build := func() []*types.Transaction {
+		p := New(Config{})
+		st := newFakeState()
+		for i := 0; i < 6; i++ {
+			w := wallet.NewDeterministic(string(rune('a' + i)))
+			if err := p.Add(signedTx(t, w, 0, 50), st); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return p.Pending(st, 0)
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i].Hash() != b[i].Hash() {
+			t.Fatal("Pending order is not deterministic")
+		}
+	}
+}

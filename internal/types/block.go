@@ -1,0 +1,282 @@
+package types
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"github.com/smartcrowd/smartcrowd/internal/crypto/merkle"
+	"github.com/smartcrowd/smartcrowd/internal/crypto/secp256k1"
+	"github.com/smartcrowd/smartcrowd/internal/rlp"
+)
+
+// Header is a SmartCrowd block header (paper Fig. 2). PreBlockID and
+// CurBlockID link blocks into a chain; Timestamp is the generation time;
+// Nonce is the PoW solution the mining provider searched for; the Merkle
+// root commits to the ω_i detection results recorded in the block.
+type Header struct {
+	// ParentID is PreBlockID, the identifier of the previous block.
+	ParentID Hash
+	// Number is the block height (0 for genesis).
+	Number uint64
+	// Time is the block generation timestamp in simulation milliseconds.
+	Time uint64
+	// Difficulty is the PoW difficulty; the header hash must be below
+	// 2²⁵⁶/Difficulty.
+	Difficulty uint64
+	// Nonce is the PoW solution.
+	Nonce uint64
+	// Miner is the IoT provider that sealed the block and receives the
+	// block reward and transaction fees (Eq. 8).
+	Miner Address
+	// TxRoot is the Merkle root over the block's transactions — the
+	// detection-result organization of paper Fig. 2.
+	TxRoot Hash
+	// StateRoot commits to the post-execution account state.
+	StateRoot Hash
+}
+
+// rlpItem encodes every header field; the PoW nonce is included so the
+// sealed hash covers it.
+func (h *Header) rlpItem() rlp.Item {
+	return rlp.List(
+		rlp.Bytes(h.ParentID[:]),
+		rlp.Uint64(h.Number),
+		rlp.Uint64(h.Time),
+		rlp.Uint64(h.Difficulty),
+		rlp.Uint64(h.Nonce),
+		rlp.Bytes(h.Miner[:]),
+		rlp.Bytes(h.TxRoot[:]),
+		rlp.Bytes(h.StateRoot[:]),
+	)
+}
+
+// ID computes CurBlockID: the Keccak-256 of the RLP-encoded header. This is
+// also the value the PoW predicate constrains.
+func (h *Header) ID() Hash {
+	return HashBytes(rlp.Encode(h.rlpItem()))
+}
+
+// maxTarget is 2²⁵⁶ − 1.
+var maxTarget = new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 256), big.NewInt(1))
+
+// PoWTarget returns the threshold a block ID must be below for the given
+// difficulty. Difficulty 0 is treated as 1 (every hash qualifies).
+func PoWTarget(difficulty uint64) *big.Int {
+	if difficulty == 0 {
+		difficulty = 1
+	}
+	return new(big.Int).Div(maxTarget, new(big.Int).SetUint64(difficulty))
+}
+
+// MeetsPoW reports whether the header's ID satisfies its difficulty.
+func (h *Header) MeetsPoW() bool {
+	id := h.ID()
+	return new(big.Int).SetBytes(id[:]).Cmp(PoWTarget(h.Difficulty)) <= 0
+}
+
+// Block is a full SmartCrowd block: a sealed header plus the transactions
+// (value transfers, SRAs and detection reports) it records.
+type Block struct {
+	Header Header
+	Txs    []*Transaction
+}
+
+// Block validation errors.
+var (
+	ErrBlockBadTxRoot = errors.New("types: block transaction root mismatch")
+	ErrBlockBadPoW    = errors.New("types: block does not meet proof-of-work")
+	ErrBlockNoTime    = errors.New("types: block timestamp is zero")
+)
+
+// ID returns the block's identifier (its header hash).
+func (b *Block) ID() Hash { return b.Header.ID() }
+
+// ComputeTxRoot builds the Merkle root over the block's transactions.
+func ComputeTxRoot(txs []*Transaction) Hash {
+	if len(txs) == 0 {
+		return Hash(merkle.EmptyRoot)
+	}
+	leaves := make([][]byte, len(txs))
+	for i, tx := range txs {
+		h := tx.Hash()
+		leaves[i] = h[:]
+	}
+	return Hash(merkle.Root(leaves))
+}
+
+// VerifyShape checks the block's self-consistency: Merkle root, PoW and
+// structural transaction validity. Chain-contextual checks (parent link,
+// state transition) live in the chain package.
+func (b *Block) VerifyShape() error {
+	if b.Header.Number > 0 && b.Header.Time == 0 {
+		return ErrBlockNoTime
+	}
+	if ComputeTxRoot(b.Txs) != b.Header.TxRoot {
+		return ErrBlockBadTxRoot
+	}
+	if b.Header.Number > 0 && !b.Header.MeetsPoW() {
+		return ErrBlockBadPoW
+	}
+	for i, tx := range b.Txs {
+		if err := tx.ValidateBasic(); err != nil {
+			return fmt.Errorf("types: block tx %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CountReports returns ω, the number of detection-result transactions
+// (initial and detailed reports) the block records — the quantity that
+// earns the mining provider per-report fees in Eq. 8.
+func (b *Block) CountReports() int {
+	n := 0
+	for _, tx := range b.Txs {
+		if tx.Kind == TxInitialReport || tx.Kind == TxDetailedReport {
+			n++
+		}
+	}
+	return n
+}
+
+// EncodeTx serializes a transaction for network transport.
+func EncodeTx(tx *Transaction) []byte {
+	return rlp.Encode(rlp.List(
+		rlp.Uint64(uint64(tx.Kind)),
+		rlp.Uint64(tx.Nonce),
+		rlp.Bytes(tx.From[:]),
+		rlp.Bytes(tx.To[:]),
+		rlp.Uint64(uint64(tx.Value)),
+		rlp.Uint64(tx.GasLimit),
+		rlp.Uint64(uint64(tx.GasPrice)),
+		rlp.Bytes(tx.Data),
+		rlp.Bytes(tx.Sig.Serialize()),
+	))
+}
+
+// DecodeTx parses a transaction from its transport encoding.
+func DecodeTx(data []byte) (*Transaction, error) {
+	it, err := rlp.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("types: decode tx: %w", err)
+	}
+	return txFromItem(it)
+}
+
+func txFromItem(it rlp.Item) (*Transaction, error) {
+	if it.Kind != rlp.KindList || len(it.List) != 9 {
+		return nil, errors.New("types: decode tx: want 9-element list")
+	}
+	var tx Transaction
+	var err error
+	get := func(i int) uint64 {
+		if err != nil {
+			return 0
+		}
+		var v uint64
+		v, err = it.List[i].AsUint64()
+		return v
+	}
+	tx.Kind = TxKind(get(0))
+	tx.Nonce = get(1)
+	if err != nil {
+		return nil, fmt.Errorf("types: decode tx: %w", err)
+	}
+	if copyExact(tx.From[:], it.List[2].Str) != nil || copyExact(tx.To[:], it.List[3].Str) != nil {
+		return nil, errors.New("types: decode tx: bad address length")
+	}
+	tx.Value = Amount(get(4))
+	tx.GasLimit = get(5)
+	tx.GasPrice = Amount(get(6))
+	if err != nil {
+		return nil, fmt.Errorf("types: decode tx: %w", err)
+	}
+	tx.Data = append([]byte(nil), it.List[7].Str...)
+	sig, err := secp256k1.ParseSignature(it.List[8].Str)
+	if err != nil {
+		return nil, fmt.Errorf("types: decode tx signature: %w", err)
+	}
+	tx.Sig = sig
+	return &tx, nil
+}
+
+// EncodeBlock serializes a block for network transport.
+func EncodeBlock(b *Block) []byte {
+	txItems := make([]rlp.Item, len(b.Txs))
+	for i, tx := range b.Txs {
+		encoded, decodeErr := rlp.Decode(EncodeTx(tx))
+		if decodeErr != nil {
+			panic("types: EncodeTx produced invalid RLP: " + decodeErr.Error())
+		}
+		txItems[i] = encoded
+	}
+	return rlp.Encode(rlp.List(b.Header.rlpItem(), rlp.List(txItems...)))
+}
+
+// DecodeBlock parses a block from its transport encoding.
+func DecodeBlock(data []byte) (*Block, error) {
+	it, err := rlp.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("types: decode block: %w", err)
+	}
+	if it.Kind != rlp.KindList || len(it.List) != 2 {
+		return nil, errors.New("types: decode block: want [header, txs]")
+	}
+	hdr, err := headerFromItem(it.List[0])
+	if err != nil {
+		return nil, err
+	}
+	txsItem := it.List[1]
+	if txsItem.Kind != rlp.KindList {
+		return nil, errors.New("types: decode block: txs is not a list")
+	}
+	blk := &Block{Header: hdr, Txs: make([]*Transaction, 0, len(txsItem.List))}
+	for i, txIt := range txsItem.List {
+		tx, err := txFromItem(txIt)
+		if err != nil {
+			return nil, fmt.Errorf("types: decode block tx %d: %w", i, err)
+		}
+		blk.Txs = append(blk.Txs, tx)
+	}
+	return blk, nil
+}
+
+func headerFromItem(it rlp.Item) (Header, error) {
+	if it.Kind != rlp.KindList || len(it.List) != 8 {
+		return Header{}, errors.New("types: decode header: want 8-element list")
+	}
+	var h Header
+	var err error
+	get := func(i int) uint64 {
+		if err != nil {
+			return 0
+		}
+		var v uint64
+		v, err = it.List[i].AsUint64()
+		return v
+	}
+	if copyExact(h.ParentID[:], it.List[0].Str) != nil {
+		return Header{}, errors.New("types: decode header: bad parent id")
+	}
+	h.Number = get(1)
+	h.Time = get(2)
+	h.Difficulty = get(3)
+	h.Nonce = get(4)
+	if err != nil {
+		return Header{}, fmt.Errorf("types: decode header: %w", err)
+	}
+	if copyExact(h.Miner[:], it.List[5].Str) != nil ||
+		copyExact(h.TxRoot[:], it.List[6].Str) != nil ||
+		copyExact(h.StateRoot[:], it.List[7].Str) != nil {
+		return Header{}, errors.New("types: decode header: bad field length")
+	}
+	return h, nil
+}
+
+func copyExact(dst, src []byte) error {
+	if len(src) != len(dst) {
+		return errors.New("length mismatch")
+	}
+	copy(dst, src)
+	return nil
+}

@@ -1,0 +1,197 @@
+package types
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+
+	"github.com/smartcrowd/smartcrowd/internal/wallet"
+)
+
+func minedBlock(t *testing.T, parent Hash, number uint64, txs []*Transaction, difficulty uint64) *Block {
+	t.Helper()
+	miner := wallet.NewDeterministic("miner")
+	b := &Block{
+		Header: Header{
+			ParentID:   parent,
+			Number:     number,
+			Time:       number * 15_000,
+			Difficulty: difficulty,
+			Miner:      miner.Address(),
+			TxRoot:     ComputeTxRoot(txs),
+			StateRoot:  HashBytes([]byte("state")),
+		},
+		Txs: txs,
+	}
+	for nonce := uint64(0); ; nonce++ {
+		b.Header.Nonce = nonce
+		if b.Header.MeetsPoW() {
+			return b
+		}
+		if nonce > 1_000_000 {
+			t.Fatal("could not mine test block; difficulty too high for test")
+		}
+	}
+}
+
+func TestPoWTargetMonotone(t *testing.T) {
+	if PoWTarget(1).Cmp(PoWTarget(2)) <= 0 {
+		t.Error("higher difficulty must lower the target")
+	}
+	if PoWTarget(0).Cmp(PoWTarget(1)) != 0 {
+		t.Error("difficulty 0 must behave as 1")
+	}
+	// Target(1) is 2^256-1: any hash qualifies.
+	max := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 256), big.NewInt(1))
+	if PoWTarget(1).Cmp(max) != 0 {
+		t.Error("difficulty-1 target should be 2^256-1")
+	}
+}
+
+func TestHeaderIDDeterministicAndSensitive(t *testing.T) {
+	h := Header{Number: 5, Time: 100, Difficulty: 4, Nonce: 9}
+	if h.ID() != h.ID() {
+		t.Error("header ID not deterministic")
+	}
+	h2 := h
+	h2.Nonce++
+	if h.ID() == h2.ID() {
+		t.Error("nonce change did not change header ID")
+	}
+	h3 := h
+	h3.ParentID = HashBytes([]byte("x"))
+	if h.ID() == h3.ID() {
+		t.Error("parent change did not change header ID")
+	}
+}
+
+func TestBlockVerifyShape(t *testing.T) {
+	alice := wallet.NewDeterministic("alice")
+	txs := []*Transaction{signedTransfer(t, alice, Address{}, 5, 0)}
+	b := minedBlock(t, HashBytes([]byte("genesis")), 1, txs, 16)
+	if err := b.VerifyShape(); err != nil {
+		t.Fatalf("valid block rejected: %v", err)
+	}
+}
+
+func TestBlockVerifyShapeRejectsBadTxRoot(t *testing.T) {
+	alice := wallet.NewDeterministic("alice")
+	txs := []*Transaction{signedTransfer(t, alice, Address{}, 5, 0)}
+	b := minedBlock(t, Hash{}, 1, txs, 16)
+	// A colluding miner swaps in a different transaction set after sealing.
+	b.Txs = []*Transaction{signedTransfer(t, alice, Address{}, 500, 0)}
+	if err := b.VerifyShape(); !errors.Is(err, ErrBlockBadTxRoot) {
+		t.Errorf("tampered tx set: err = %v, want ErrBlockBadTxRoot", err)
+	}
+}
+
+func TestBlockVerifyShapeRejectsBadPoW(t *testing.T) {
+	b := minedBlock(t, Hash{}, 1, nil, 16)
+	b.Header.Difficulty = 1 << 60 // claim a difficulty the nonce doesn't meet
+	if err := b.VerifyShape(); !errors.Is(err, ErrBlockBadPoW) {
+		t.Errorf("unmined block: err = %v, want ErrBlockBadPoW", err)
+	}
+}
+
+func TestBlockVerifyShapeRejectsInvalidTx(t *testing.T) {
+	alice := wallet.NewDeterministic("alice")
+	tx := signedTransfer(t, alice, Address{}, 5, 0)
+	tx.Value = 99 // break the signature
+	b := minedBlock(t, Hash{}, 1, []*Transaction{tx}, 4)
+	if err := b.VerifyShape(); err == nil {
+		t.Error("block with invalid tx accepted")
+	}
+}
+
+func TestBlockVerifyShapeRejectsZeroTime(t *testing.T) {
+	b := minedBlock(t, Hash{}, 1, nil, 4)
+	b.Header.Time = 0
+	// Re-mine with time zero to isolate the timestamp check.
+	for nonce := uint64(0); ; nonce++ {
+		b.Header.Nonce = nonce
+		if b.Header.MeetsPoW() {
+			break
+		}
+	}
+	if err := b.VerifyShape(); !errors.Is(err, ErrBlockNoTime) {
+		t.Errorf("zero-time block: err = %v, want ErrBlockNoTime", err)
+	}
+}
+
+func TestGenesisExemptFromPoW(t *testing.T) {
+	g := &Block{Header: Header{Number: 0, Difficulty: 1 << 62}}
+	g.Header.TxRoot = ComputeTxRoot(nil)
+	if err := g.VerifyShape(); err != nil {
+		t.Errorf("genesis rejected: %v", err)
+	}
+}
+
+func TestCountReports(t *testing.T) {
+	detector := wallet.NewDeterministic("detector")
+	provider := wallet.NewDeterministic("provider")
+	initial, detailed := buildReportPair(t, detector, HashBytes([]byte("s")), sampleFindings())
+	itx := NewInitialReportTx(initial, 0, 1, 1)
+	dtx := NewDetailedReportTx(detailed, 1, 1, 1)
+	transfer := signedTransfer(t, provider, Address{}, 1, 0)
+	b := &Block{Txs: []*Transaction{itx, dtx, transfer}}
+	if got := b.CountReports(); got != 2 {
+		t.Errorf("CountReports = %d, want 2", got)
+	}
+}
+
+func TestBlockEncodeDecodeRoundtrip(t *testing.T) {
+	alice := wallet.NewDeterministic("alice")
+	detector := wallet.NewDeterministic("detector")
+	initial, _ := buildReportPair(t, detector, HashBytes([]byte("s")), sampleFindings())
+	itx := NewInitialReportTx(initial, 0, 200_000, 50*GWei)
+	if err := SignTx(itx, detector); err != nil {
+		t.Fatal(err)
+	}
+	txs := []*Transaction{signedTransfer(t, alice, Address{}, 5, 0), itx}
+	b := minedBlock(t, HashBytes([]byte("parent")), 3, txs, 8)
+
+	decoded, err := DecodeBlock(EncodeBlock(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.ID() != b.ID() {
+		t.Error("block roundtrip changed ID")
+	}
+	if len(decoded.Txs) != len(b.Txs) {
+		t.Fatalf("roundtrip lost transactions")
+	}
+	if err := decoded.VerifyShape(); err != nil {
+		t.Errorf("roundtripped block invalid: %v", err)
+	}
+	// The embedded report must survive intact.
+	r, err := decoded.Txs[1].InitialReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != initial.ID {
+		t.Error("embedded report identity changed through block roundtrip")
+	}
+}
+
+func TestDecodeBlockRejectsGarbage(t *testing.T) {
+	for _, data := range [][]byte{nil, {0xc0}, {0xc2, 0xc0, 0xc0}} {
+		if _, err := DecodeBlock(data); err == nil {
+			t.Errorf("DecodeBlock accepted %x", data)
+		}
+	}
+}
+
+func TestComputeTxRootEmptyStable(t *testing.T) {
+	if ComputeTxRoot(nil) != ComputeTxRoot([]*Transaction{}) {
+		t.Error("empty tx root unstable")
+	}
+}
+
+func BenchmarkHeaderID(b *testing.B) {
+	h := Header{Number: 123456, Time: 99, Difficulty: 0xf00000, Nonce: 42}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Nonce = uint64(i)
+		h.ID()
+	}
+}

@@ -1,0 +1,298 @@
+package types
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"github.com/smartcrowd/smartcrowd/internal/crypto/secp256k1"
+	"github.com/smartcrowd/smartcrowd/internal/rlp"
+	"github.com/smartcrowd/smartcrowd/internal/wallet"
+)
+
+// TxKind discriminates the transaction payloads a SmartCrowd block can
+// record. The paper extends standard blocks: "Besides transactions, the
+// blocks of SmartCrowd also record SRAs and detection reports" (§IV-B).
+type TxKind uint8
+
+// Transaction kinds.
+const (
+	// TxTransfer moves value between accounts.
+	TxTransfer TxKind = iota + 1
+	// TxContractCreate deploys SCVM bytecode (Data holds the code).
+	TxContractCreate
+	// TxContractCall invokes a deployed contract (Data holds call input).
+	TxContractCall
+	// TxSRA records a system release announcement Δ.
+	TxSRA
+	// TxInitialReport records an initial detection report R†.
+	TxInitialReport
+	// TxDetailedReport records a detailed detection report R*.
+	TxDetailedReport
+)
+
+// String returns the kind name.
+func (k TxKind) String() string {
+	switch k {
+	case TxTransfer:
+		return "transfer"
+	case TxContractCreate:
+		return "contract-create"
+	case TxContractCall:
+		return "contract-call"
+	case TxSRA:
+		return "sra"
+	case TxInitialReport:
+		return "initial-report"
+	case TxDetailedReport:
+		return "detailed-report"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Valid reports whether k is a defined transaction kind.
+func (k TxKind) Valid() bool { return k >= TxTransfer && k <= TxDetailedReport }
+
+// Transaction is a signed SmartCrowd transaction. The sender is recovered
+// from the signature (Ethereum-style); From is carried explicitly for
+// readability and must match the recovered signer.
+type Transaction struct {
+	// Kind selects the payload interpretation of Data.
+	Kind TxKind
+	// Nonce is the sender's transaction sequence number.
+	Nonce uint64
+	// From is the sender; must equal the signature's recovered address.
+	From Address
+	// To is the recipient; the contract address for calls, the zero
+	// address for contract creation and protocol payloads.
+	To Address
+	// Value is the attached currency (e.g. the SRA insurance deposit).
+	Value Amount
+	// GasLimit caps execution gas.
+	GasLimit uint64
+	// GasPrice is the fee per unit of gas, paid to the mining provider.
+	GasPrice Amount
+	// Data is the payload (contract code/input or an encoded Δ/R†/R*).
+	Data []byte
+	// Sig authenticates the transaction.
+	Sig secp256k1.Signature
+
+	// senderCache memoizes signature recovery keyed by the signing hash,
+	// so validation layers do not repeat the expensive ECDSA recovery.
+	senderCache atomic.Pointer[senderEntry]
+}
+
+// senderEntry is a cached recovery result for a given signing hash.
+type senderEntry struct {
+	sigHash Hash
+	sig     [65]byte
+	addr    Address
+	err     error
+}
+
+// Transaction errors.
+var (
+	ErrTxBadSignature = errors.New("types: transaction signature invalid")
+	ErrTxWrongSender  = errors.New("types: transaction From does not match signer")
+	ErrTxBadKind      = errors.New("types: transaction kind invalid")
+	ErrTxNoGas        = errors.New("types: transaction gas limit is zero")
+	ErrTxWrongPayload = errors.New("types: transaction payload does not decode for its kind")
+)
+
+// SigHash computes the digest the sender signs: the Keccak-256 of the RLP
+// encoding of all fields except the signature.
+func (tx *Transaction) SigHash() Hash {
+	enc := rlp.Encode(rlp.List(
+		rlp.Uint64(uint64(tx.Kind)),
+		rlp.Uint64(tx.Nonce),
+		rlp.Bytes(tx.From[:]),
+		rlp.Bytes(tx.To[:]),
+		rlp.Uint64(uint64(tx.Value)),
+		rlp.Uint64(tx.GasLimit),
+		rlp.Uint64(uint64(tx.GasPrice)),
+		rlp.Bytes(tx.Data),
+	))
+	return HashBytes(enc)
+}
+
+// Hash returns the transaction identifier: the Keccak-256 of the full RLP
+// encoding including the signature.
+func (tx *Transaction) Hash() Hash {
+	enc := rlp.Encode(rlp.List(
+		rlp.Uint64(uint64(tx.Kind)),
+		rlp.Uint64(tx.Nonce),
+		rlp.Bytes(tx.From[:]),
+		rlp.Bytes(tx.To[:]),
+		rlp.Uint64(uint64(tx.Value)),
+		rlp.Uint64(tx.GasLimit),
+		rlp.Uint64(uint64(tx.GasPrice)),
+		rlp.Bytes(tx.Data),
+		rlp.Bytes(tx.Sig.Serialize()),
+	))
+	return HashBytes(enc)
+}
+
+// SignTx signs the transaction with w and sets From.
+func SignTx(tx *Transaction, w *wallet.Wallet) error {
+	tx.From = w.Address()
+	sig, err := w.SignDigest(tx.SigHash())
+	if err != nil {
+		return fmt.Errorf("types: sign transaction: %w", err)
+	}
+	tx.Sig = sig
+	return nil
+}
+
+// Sender recovers and validates the transaction's signer. The recovery is
+// memoized against the current signing hash and signature, so mutating the
+// transaction invalidates the cache naturally.
+func (tx *Transaction) Sender() (Address, error) {
+	sigHash := tx.SigHash()
+	var sigBytes [65]byte
+	if tx.Sig.R != nil && tx.Sig.S != nil {
+		copy(sigBytes[:], tx.Sig.Serialize())
+	}
+	if cached := tx.senderCache.Load(); cached != nil &&
+		cached.sigHash == sigHash && cached.sig == sigBytes {
+		return cached.addr, cached.err
+	}
+
+	entry := &senderEntry{sigHash: sigHash, sig: sigBytes}
+	addr, err := wallet.RecoverSigner(sigHash, tx.Sig)
+	switch {
+	case err != nil:
+		entry.err = fmt.Errorf("%w: %v", ErrTxBadSignature, err)
+	case addr != tx.From:
+		entry.err = ErrTxWrongSender
+	default:
+		entry.addr = addr
+	}
+	tx.senderCache.Store(entry)
+	return entry.addr, entry.err
+}
+
+// ValidateBasic performs stateless validation: kind, gas, signature, and —
+// for protocol payloads — that the payload decodes and passes its own
+// verification (Algorithm 1 structural checks).
+func (tx *Transaction) ValidateBasic() error {
+	if !tx.Kind.Valid() {
+		return ErrTxBadKind
+	}
+	if tx.GasLimit == 0 {
+		return ErrTxNoGas
+	}
+	if _, err := tx.Sender(); err != nil {
+		return err
+	}
+	switch tx.Kind {
+	case TxSRA:
+		s, err := tx.SRA()
+		if err != nil {
+			return err
+		}
+		if err := s.Verify(); err != nil {
+			return err
+		}
+		if s.Provider != tx.From {
+			return fmt.Errorf("%w: SRA provider %s, sender %s", ErrTxWrongSender, s.Provider, tx.From)
+		}
+		if tx.Value != s.Insurance {
+			return fmt.Errorf("types: SRA insurance %s not attached (tx value %s)", s.Insurance, tx.Value)
+		}
+	case TxInitialReport:
+		r, err := tx.InitialReport()
+		if err != nil {
+			return err
+		}
+		if err := r.Verify(); err != nil {
+			return err
+		}
+		if r.Detector != tx.From {
+			return fmt.Errorf("%w: report detector %s, sender %s", ErrTxWrongSender, r.Detector, tx.From)
+		}
+	case TxDetailedReport:
+		r, err := tx.DetailedReport()
+		if err != nil {
+			return err
+		}
+		if err := r.Verify(); err != nil {
+			return err
+		}
+		if r.Detector != tx.From {
+			return fmt.Errorf("%w: report detector %s, sender %s", ErrTxWrongSender, r.Detector, tx.From)
+		}
+	case TxContractCreate:
+		if len(tx.Data) == 0 {
+			return fmt.Errorf("%w: contract creation with empty code", ErrTxWrongPayload)
+		}
+	}
+	return nil
+}
+
+// NewSRATx wraps a signed SRA in a transaction carrying its insurance.
+func NewSRATx(s *SRA, nonce uint64, gasLimit uint64, gasPrice Amount) *Transaction {
+	return &Transaction{
+		Kind:     TxSRA,
+		Nonce:    nonce,
+		From:     s.Provider,
+		Value:    s.Insurance,
+		GasLimit: gasLimit,
+		GasPrice: gasPrice,
+		Data:     s.encodePayload(),
+	}
+}
+
+// NewInitialReportTx wraps a signed R† in a transaction.
+func NewInitialReportTx(r *InitialReport, nonce uint64, gasLimit uint64, gasPrice Amount) *Transaction {
+	return &Transaction{
+		Kind:     TxInitialReport,
+		Nonce:    nonce,
+		From:     r.Detector,
+		GasLimit: gasLimit,
+		GasPrice: gasPrice,
+		Data:     r.encodePayload(),
+	}
+}
+
+// NewDetailedReportTx wraps a signed R* in a transaction.
+func NewDetailedReportTx(r *DetailedReport, nonce uint64, gasLimit uint64, gasPrice Amount) *Transaction {
+	return &Transaction{
+		Kind:     TxDetailedReport,
+		Nonce:    nonce,
+		From:     r.Detector,
+		GasLimit: gasLimit,
+		GasPrice: gasPrice,
+		Data:     r.encodePayload(),
+	}
+}
+
+// SRA decodes the SRA payload; the transaction must be TxSRA.
+func (tx *Transaction) SRA() (*SRA, error) {
+	if tx.Kind != TxSRA {
+		return nil, fmt.Errorf("%w: kind %s", ErrTxWrongPayload, tx.Kind)
+	}
+	return decodeSRA(tx.Data)
+}
+
+// InitialReport decodes the R† payload.
+func (tx *Transaction) InitialReport() (*InitialReport, error) {
+	if tx.Kind != TxInitialReport {
+		return nil, fmt.Errorf("%w: kind %s", ErrTxWrongPayload, tx.Kind)
+	}
+	return decodeInitialReport(tx.Data)
+}
+
+// DetailedReport decodes the R* payload.
+func (tx *Transaction) DetailedReport() (*DetailedReport, error) {
+	if tx.Kind != TxDetailedReport {
+		return nil, fmt.Errorf("%w: kind %s", ErrTxWrongPayload, tx.Kind)
+	}
+	return decodeDetailedReport(tx.Data)
+}
+
+// Fee returns the maximum fee the transaction can pay (gas limit × price).
+func (tx *Transaction) Fee() Amount { return Amount(tx.GasLimit) * tx.GasPrice }
+
+// Cost returns value plus maximum fee — the balance the sender must hold.
+func (tx *Transaction) Cost() Amount { return tx.Value + tx.Fee() }

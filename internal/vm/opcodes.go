@@ -1,0 +1,210 @@
+// Package vm implements the SCVM — SmartCrowd's gas-metered, stack-based
+// contract virtual machine. It plays the role geth's EVM plays in the
+// paper's prototype: SmartCrowd contracts (SRA escrow, automated incentive
+// payouts) execute on it, and every instruction is charged gas so the cost
+// results of Fig. 6(b) (≈0.011 ether per report, ≈0.095 ether per SRA
+// deployment) can be reproduced from first principles.
+//
+// The instruction set is a compact EVM dialect: 256-bit words, the same
+// stack/memory/storage split, PUSH1..PUSH32, DUP/SWAP families, KECCAK256,
+// and a simplified TRANSFER in place of CALL.
+package vm
+
+import "fmt"
+
+// OpCode is a single SCVM instruction.
+type OpCode byte
+
+// Instruction set.
+const (
+	STOP OpCode = 0x00
+	ADD  OpCode = 0x01
+	MUL  OpCode = 0x02
+	SUB  OpCode = 0x03
+	DIV  OpCode = 0x04
+	MOD  OpCode = 0x06
+
+	LT     OpCode = 0x10
+	GT     OpCode = 0x11
+	EQ     OpCode = 0x14
+	ISZERO OpCode = 0x15
+	AND    OpCode = 0x16
+	OR     OpCode = 0x17
+	XOR    OpCode = 0x18
+	NOT    OpCode = 0x19
+	SHL    OpCode = 0x1b
+	SHR    OpCode = 0x1c
+
+	KECCAK256 OpCode = 0x20
+
+	ADDRESS      OpCode = 0x30
+	BALANCE      OpCode = 0x31
+	CALLER       OpCode = 0x33
+	CALLVALUE    OpCode = 0x34
+	CALLDATALOAD OpCode = 0x35
+	CALLDATASIZE OpCode = 0x36
+
+	TIMESTAMP OpCode = 0x42
+	NUMBER    OpCode = 0x43
+
+	POP      OpCode = 0x50
+	MLOAD    OpCode = 0x51
+	MSTORE   OpCode = 0x52
+	SLOAD    OpCode = 0x54
+	SSTORE   OpCode = 0x55
+	JUMP     OpCode = 0x56
+	JUMPI    OpCode = 0x57
+	GAS      OpCode = 0x5a
+	JUMPDEST OpCode = 0x5b
+
+	PUSH1  OpCode = 0x60 // PUSH1..PUSH32 occupy 0x60..0x7f
+	PUSH32 OpCode = 0x7f
+	DUP1   OpCode = 0x80 // DUP1..DUP16 occupy 0x80..0x8f
+	DUP16  OpCode = 0x8f
+	SWAP1  OpCode = 0x90 // SWAP1..SWAP16 occupy 0x90..0x9f
+	SWAP16 OpCode = 0x9f
+
+	LOG      OpCode = 0xa0
+	TRANSFER OpCode = 0xf1
+	RETURN   OpCode = 0xf3
+	REVERT   OpCode = 0xfd
+)
+
+// IsPush reports whether op is a PUSH1..PUSH32 instruction.
+func (op OpCode) IsPush() bool { return op >= PUSH1 && op <= PUSH32 }
+
+// PushSize returns the immediate size of a PUSH instruction (0 otherwise).
+func (op OpCode) PushSize() int {
+	if !op.IsPush() {
+		return 0
+	}
+	return int(op-PUSH1) + 1
+}
+
+var opNames = map[OpCode]string{
+	STOP: "STOP", ADD: "ADD", MUL: "MUL", SUB: "SUB", DIV: "DIV", MOD: "MOD",
+	LT: "LT", GT: "GT", EQ: "EQ", ISZERO: "ISZERO",
+	AND: "AND", OR: "OR", XOR: "XOR", NOT: "NOT", SHL: "SHL", SHR: "SHR",
+	KECCAK256: "KECCAK256",
+	ADDRESS:   "ADDRESS", BALANCE: "BALANCE", CALLER: "CALLER", CALLVALUE: "CALLVALUE",
+	CALLDATALOAD: "CALLDATALOAD", CALLDATASIZE: "CALLDATASIZE",
+	TIMESTAMP: "TIMESTAMP", NUMBER: "NUMBER",
+	POP: "POP", MLOAD: "MLOAD", MSTORE: "MSTORE", SLOAD: "SLOAD", SSTORE: "SSTORE",
+	JUMP: "JUMP", JUMPI: "JUMPI", GAS: "GAS", JUMPDEST: "JUMPDEST",
+	LOG: "LOG", TRANSFER: "TRANSFER", RETURN: "RETURN", REVERT: "REVERT",
+}
+
+// String returns the mnemonic.
+func (op OpCode) String() string {
+	if name, ok := opNames[op]; ok {
+		return name
+	}
+	if op.IsPush() {
+		return fmt.Sprintf("PUSH%d", op.PushSize())
+	}
+	if op >= DUP1 && op <= DUP16 {
+		return fmt.Sprintf("DUP%d", op-DUP1+1)
+	}
+	if op >= SWAP1 && op <= SWAP16 {
+		return fmt.Sprintf("SWAP%d", op-SWAP1+1)
+	}
+	return fmt.Sprintf("INVALID(0x%02x)", byte(op))
+}
+
+// valid reports whether the opcode is defined.
+func (op OpCode) valid() bool {
+	if _, ok := opNames[op]; ok {
+		return true
+	}
+	return op.IsPush() || (op >= DUP1 && op <= DUP16) || (op >= SWAP1 && op <= SWAP16)
+}
+
+// Gas schedule, patterned on Ethereum's tiers.
+const (
+	// GasQuick covers trivial environment reads.
+	GasQuick uint64 = 2
+	// GasFastest covers stack and bitwise ops.
+	GasFastest uint64 = 3
+	// GasFast covers MUL/DIV/MOD.
+	GasFast uint64 = 5
+	// GasMid covers control flow.
+	GasMid uint64 = 8
+	// GasJumpdest is the JUMPDEST marker cost.
+	GasJumpdest uint64 = 1
+	// GasBalance prices a balance lookup.
+	GasBalance uint64 = 400
+	// GasSLoad prices a storage read.
+	GasSLoad uint64 = 200
+	// GasSStoreSet prices writing a zero slot to non-zero.
+	GasSStoreSet uint64 = 20_000
+	// GasSStoreReset prices overwriting a non-zero slot.
+	GasSStoreReset uint64 = 5_000
+	// GasTransfer prices a value transfer out of the contract.
+	GasTransfer uint64 = 9_000
+	// GasKeccakBase and GasKeccakWord price hashing.
+	GasKeccakBase uint64 = 30
+	GasKeccakWord uint64 = 6
+	// GasLogBase and GasLogByte price event emission.
+	GasLogBase uint64 = 375
+	GasLogByte uint64 = 8
+	// GasMemoryWord prices linear memory growth per 32-byte word; a
+	// quadratic term (words²/512) discourages huge allocations.
+	GasMemoryWord uint64 = 3
+
+	// GasTxBase is the intrinsic cost of any transaction.
+	GasTxBase uint64 = 21_000
+	// GasTxDataZero and GasTxDataNonZero price calldata bytes.
+	GasTxDataZero    uint64 = 4
+	GasTxDataNonZero uint64 = 68
+	// GasContractCreation is the surcharge for deploying a contract.
+	GasContractCreation uint64 = 32_000
+	// GasCodeDepositByte prices each byte of deployed code.
+	GasCodeDepositByte uint64 = 200
+)
+
+// constantGas returns the fixed gas component of op, or (0, false) for
+// opcodes with dynamic costs handled inline by the interpreter.
+func constantGas(op OpCode) (uint64, bool) {
+	switch op {
+	case STOP, RETURN, REVERT:
+		return 0, true
+	case ADDRESS, CALLER, CALLVALUE, CALLDATASIZE, TIMESTAMP, NUMBER, GAS:
+		return GasQuick, true
+	case ADD, SUB, LT, GT, EQ, ISZERO, AND, OR, XOR, NOT, SHL, SHR, POP,
+		CALLDATALOAD:
+		return GasFastest, true
+	case MUL, DIV, MOD:
+		return GasFast, true
+	case JUMP, JUMPI:
+		return GasMid, true
+	case JUMPDEST:
+		return GasJumpdest, true
+	case BALANCE:
+		return GasBalance, true
+	case SLOAD:
+		return GasSLoad, true
+	case TRANSFER:
+		return GasTransfer, true
+	default:
+		if op.IsPush() || (op >= DUP1 && op <= DUP16) || (op >= SWAP1 && op <= SWAP16) {
+			return GasFastest, true
+		}
+		return 0, false // dynamic: KECCAK256, SSTORE, MLOAD, MSTORE, LOG
+	}
+}
+
+// IntrinsicGas computes the transaction-intrinsic gas for a payload.
+func IntrinsicGas(data []byte, contractCreation bool) uint64 {
+	gas := GasTxBase
+	if contractCreation {
+		gas += GasContractCreation
+	}
+	for _, b := range data {
+		if b == 0 {
+			gas += GasTxDataZero
+		} else {
+			gas += GasTxDataNonZero
+		}
+	}
+	return gas
+}

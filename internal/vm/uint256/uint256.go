@@ -1,0 +1,302 @@
+// Package uint256 implements fixed-width 256-bit unsigned integers, the
+// word type of the SCVM (SmartCrowd's gas-metered contract VM). Arithmetic
+// wraps modulo 2²⁵⁶ exactly like the EVM. The implementation uses four
+// 64-bit limbs (little-endian) and math/bits intrinsics; it is validated
+// against math/big in uint256_test.go.
+package uint256
+
+import (
+	"encoding/hex"
+	"math/big"
+	"math/bits"
+)
+
+// Int is a 256-bit unsigned integer: limbs[0] is least significant.
+type Int struct {
+	limbs [4]uint64
+}
+
+// Zero returns the zero value (also usable directly as Int{}).
+func Zero() Int { return Int{} }
+
+// One returns 1.
+func One() Int { return FromUint64(1) }
+
+// Max returns 2²⁵⁶−1.
+func Max() Int {
+	return Int{limbs: [4]uint64{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}}
+}
+
+// FromUint64 builds an Int from a uint64.
+func FromUint64(v uint64) Int { return Int{limbs: [4]uint64{v}} }
+
+// FromBig converts a non-negative big.Int, truncating modulo 2²⁵⁶.
+func FromBig(v *big.Int) Int {
+	var out Int
+	if v == nil || v.Sign() <= 0 {
+		return out
+	}
+	words := v.Bits()
+	for i := 0; i < len(words) && i < 4; i++ {
+		out.limbs[i] = uint64(words[i])
+	}
+	return out
+}
+
+// FromBytes interprets up to 32 big-endian bytes.
+func FromBytes(b []byte) Int {
+	var out Int
+	if len(b) > 32 {
+		b = b[len(b)-32:]
+	}
+	for i := 0; i < len(b); i++ {
+		byteIdx := len(b) - 1 - i // distance from the little end
+		out.limbs[byteIdx/8] |= uint64(b[i]) << (8 * (byteIdx % 8))
+	}
+	return out
+}
+
+// Uint64 returns the low 64 bits.
+func (x Int) Uint64() uint64 { return x.limbs[0] }
+
+// FitsUint64 reports whether the value is representable in 64 bits.
+func (x Int) FitsUint64() bool {
+	return x.limbs[1] == 0 && x.limbs[2] == 0 && x.limbs[3] == 0
+}
+
+// IsZero reports whether x == 0.
+func (x Int) IsZero() bool {
+	return x.limbs[0]|x.limbs[1]|x.limbs[2]|x.limbs[3] == 0
+}
+
+// Bytes32 returns the 32-byte big-endian representation.
+func (x Int) Bytes32() [32]byte {
+	var out [32]byte
+	for i := 0; i < 4; i++ {
+		limb := x.limbs[3-i]
+		for j := 0; j < 8; j++ {
+			out[i*8+j] = byte(limb >> (56 - 8*j))
+		}
+	}
+	return out
+}
+
+// Bytes returns the minimal big-endian representation (empty for zero).
+func (x Int) Bytes() []byte {
+	full := x.Bytes32()
+	i := 0
+	for i < 31 && full[i] == 0 {
+		i++
+	}
+	if full[i] == 0 && i == 31 {
+		return nil
+	}
+	return full[i:]
+}
+
+// ToBig converts to math/big.
+func (x Int) ToBig() *big.Int {
+	b := x.Bytes32()
+	return new(big.Int).SetBytes(b[:])
+}
+
+// Hex renders the value as 0x-prefixed minimal hex.
+func (x Int) Hex() string {
+	b := x.Bytes()
+	if len(b) == 0 {
+		return "0x0"
+	}
+	s := hex.EncodeToString(b)
+	if s[0] == '0' {
+		s = s[1:]
+	}
+	return "0x" + s
+}
+
+// Cmp returns -1, 0 or 1.
+func (x Int) Cmp(y Int) int {
+	for i := 3; i >= 0; i-- {
+		switch {
+		case x.limbs[i] < y.limbs[i]:
+			return -1
+		case x.limbs[i] > y.limbs[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Add returns x + y mod 2²⁵⁶.
+func (x Int) Add(y Int) Int {
+	var out Int
+	var carry uint64
+	for i := 0; i < 4; i++ {
+		out.limbs[i], carry = bits.Add64(x.limbs[i], y.limbs[i], carry)
+	}
+	return out
+}
+
+// Sub returns x − y mod 2²⁵⁶.
+func (x Int) Sub(y Int) Int {
+	var out Int
+	var borrow uint64
+	for i := 0; i < 4; i++ {
+		out.limbs[i], borrow = bits.Sub64(x.limbs[i], y.limbs[i], borrow)
+	}
+	return out
+}
+
+// Mul returns x · y mod 2²⁵⁶.
+func (x Int) Mul(y Int) Int {
+	var out Int
+	for i := 0; i < 4; i++ {
+		if x.limbs[i] == 0 {
+			continue
+		}
+		var carry uint64
+		for j := 0; i+j < 4; j++ {
+			hi, lo := bits.Mul64(x.limbs[i], y.limbs[j])
+			var c1, c2 uint64
+			out.limbs[i+j], c1 = bits.Add64(out.limbs[i+j], lo, 0)
+			out.limbs[i+j], c2 = bits.Add64(out.limbs[i+j], carry, 0)
+			carry = hi + c1 + c2
+		}
+	}
+	return out
+}
+
+// Div returns x / y (0 when y == 0, matching EVM semantics).
+func (x Int) Div(y Int) Int {
+	q, _ := x.DivMod(y)
+	return q
+}
+
+// Mod returns x % y (0 when y == 0).
+func (x Int) Mod(y Int) Int {
+	_, r := x.DivMod(y)
+	return r
+}
+
+// DivMod returns the quotient and remainder of x / y; both zero when
+// y == 0.
+func (x Int) DivMod(y Int) (Int, Int) {
+	if y.IsZero() {
+		return Int{}, Int{}
+	}
+	if x.Cmp(y) < 0 {
+		return Int{}, x
+	}
+	// Fast path: both fit in 64 bits.
+	if x.FitsUint64() && y.FitsUint64() {
+		return FromUint64(x.limbs[0] / y.limbs[0]), FromUint64(x.limbs[0] % y.limbs[0])
+	}
+	// Schoolbook long division over bits; adequate for contract workloads.
+	var q, r Int
+	for i := x.BitLen() - 1; i >= 0; i-- {
+		r = r.Lsh(1)
+		if x.Bit(i) {
+			r.limbs[0] |= 1
+		}
+		if r.Cmp(y) >= 0 {
+			r = r.Sub(y)
+			q.limbs[i/64] |= 1 << (i % 64)
+		}
+	}
+	return q, r
+}
+
+// BitLen returns the minimal number of bits to represent x.
+func (x Int) BitLen() int {
+	for i := 3; i >= 0; i-- {
+		if x.limbs[i] != 0 {
+			return i*64 + bits.Len64(x.limbs[i])
+		}
+	}
+	return 0
+}
+
+// Bit returns bit i (zero for i ≥ 256).
+func (x Int) Bit(i int) bool {
+	if i < 0 || i >= 256 {
+		return false
+	}
+	return x.limbs[i/64]>>(i%64)&1 == 1
+}
+
+// And returns x & y.
+func (x Int) And(y Int) Int {
+	var out Int
+	for i := range out.limbs {
+		out.limbs[i] = x.limbs[i] & y.limbs[i]
+	}
+	return out
+}
+
+// Or returns x | y.
+func (x Int) Or(y Int) Int {
+	var out Int
+	for i := range out.limbs {
+		out.limbs[i] = x.limbs[i] | y.limbs[i]
+	}
+	return out
+}
+
+// Xor returns x ^ y.
+func (x Int) Xor(y Int) Int {
+	var out Int
+	for i := range out.limbs {
+		out.limbs[i] = x.limbs[i] ^ y.limbs[i]
+	}
+	return out
+}
+
+// Not returns ^x.
+func (x Int) Not() Int {
+	var out Int
+	for i := range out.limbs {
+		out.limbs[i] = ^x.limbs[i]
+	}
+	return out
+}
+
+// Lsh returns x << n (zero for n ≥ 256).
+func (x Int) Lsh(n uint) Int {
+	if n >= 256 {
+		return Int{}
+	}
+	var out Int
+	limbShift := int(n / 64)
+	bitShift := n % 64
+	for i := 3; i >= 0; i-- {
+		src := i - limbShift
+		if src < 0 {
+			continue
+		}
+		out.limbs[i] = x.limbs[src] << bitShift
+		if bitShift > 0 && src > 0 {
+			out.limbs[i] |= x.limbs[src-1] >> (64 - bitShift)
+		}
+	}
+	return out
+}
+
+// Rsh returns x >> n (zero for n ≥ 256).
+func (x Int) Rsh(n uint) Int {
+	if n >= 256 {
+		return Int{}
+	}
+	var out Int
+	limbShift := int(n / 64)
+	bitShift := n % 64
+	for i := 0; i < 4; i++ {
+		src := i + limbShift
+		if src > 3 {
+			continue
+		}
+		out.limbs[i] = x.limbs[src] >> bitShift
+		if bitShift > 0 && src < 3 {
+			out.limbs[i] |= x.limbs[src+1] << (64 - bitShift)
+		}
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package uint256
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// mod256 is 2^256, for reducing big.Int reference results.
+var mod256 = new(big.Int).Lsh(big.NewInt(1), 256)
+
+func ref(x Int) *big.Int { return x.ToBig() }
+
+// fromQuads builds an Int from four uint64 limbs (LSB first) for
+// property tests.
+func fromQuads(a, b, c, d uint64) Int {
+	return Int{limbs: [4]uint64{a, b, c, d}}
+}
+
+func TestBasicConstructors(t *testing.T) {
+	if !Zero().IsZero() {
+		t.Error("Zero not zero")
+	}
+	if One().Uint64() != 1 {
+		t.Error("One != 1")
+	}
+	if Max().Add(One()) != Zero() {
+		t.Error("Max + 1 must wrap to zero")
+	}
+	if FromUint64(42).Uint64() != 42 {
+		t.Error("FromUint64 roundtrip")
+	}
+	if !FromUint64(42).FitsUint64() || Max().FitsUint64() {
+		t.Error("FitsUint64 wrong")
+	}
+}
+
+func TestBytesRoundtrip(t *testing.T) {
+	f := func(a, b, c, d uint64) bool {
+		x := fromQuads(a, b, c, d)
+		b32 := x.Bytes32()
+		if FromBytes(b32[:]) != x {
+			return false
+		}
+		return FromBytes(x.Bytes()) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesMinimal(t *testing.T) {
+	if Zero().Bytes() != nil {
+		t.Error("Zero().Bytes() should be nil")
+	}
+	if got := FromUint64(0x1234).Bytes(); !bytes.Equal(got, []byte{0x12, 0x34}) {
+		t.Errorf("Bytes() = %x", got)
+	}
+}
+
+func TestFromBytesLongInput(t *testing.T) {
+	// More than 32 bytes: keep the low 32 (EVM truncation semantics).
+	long := make([]byte, 40)
+	long[39] = 7
+	long[0] = 0xFF // should be discarded
+	if FromBytes(long) != FromUint64(7) {
+		t.Error("FromBytes did not truncate to low 32 bytes")
+	}
+}
+
+func TestFromBigNegativeAndNil(t *testing.T) {
+	if !FromBig(nil).IsZero() || !FromBig(big.NewInt(-5)).IsZero() {
+		t.Error("nil/negative big should map to zero")
+	}
+}
+
+func TestArithmeticAgainstBig(t *testing.T) {
+	f := func(a1, a2, a3, a4, b1, b2, b3, b4 uint64) bool {
+		x, y := fromQuads(a1, a2, a3, a4), fromQuads(b1, b2, b3, b4)
+		bx, by := ref(x), ref(y)
+
+		add := new(big.Int).Add(bx, by)
+		add.Mod(add, mod256)
+		if ref(x.Add(y)).Cmp(add) != 0 {
+			return false
+		}
+
+		sub := new(big.Int).Sub(bx, by)
+		sub.Mod(sub, mod256)
+		if ref(x.Sub(y)).Cmp(sub) != 0 {
+			return false
+		}
+
+		mul := new(big.Int).Mul(bx, by)
+		mul.Mod(mul, mod256)
+		if ref(x.Mul(y)).Cmp(mul) != 0 {
+			return false
+		}
+
+		if y.IsZero() {
+			return x.Div(y).IsZero() && x.Mod(y).IsZero()
+		}
+		div := new(big.Int).Div(bx, by)
+		mod := new(big.Int).Mod(bx, by)
+		return ref(x.Div(y)).Cmp(div) == 0 && ref(x.Mod(y)).Cmp(mod) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitwiseAgainstBig(t *testing.T) {
+	f := func(a1, a2, a3, a4, b1, b2, b3, b4 uint64) bool {
+		x, y := fromQuads(a1, a2, a3, a4), fromQuads(b1, b2, b3, b4)
+		bx, by := ref(x), ref(y)
+		if ref(x.And(y)).Cmp(new(big.Int).And(bx, by)) != 0 {
+			return false
+		}
+		if ref(x.Or(y)).Cmp(new(big.Int).Or(bx, by)) != 0 {
+			return false
+		}
+		if ref(x.Xor(y)).Cmp(new(big.Int).Xor(bx, by)) != 0 {
+			return false
+		}
+		// NOT x == Max − x.
+		return x.Not() == Max().Sub(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftsAgainstBig(t *testing.T) {
+	f := func(a1, a2, a3, a4 uint64, nRaw uint16) bool {
+		x := fromQuads(a1, a2, a3, a4)
+		n := uint(nRaw) % 300 // include ≥256 cases
+		bx := ref(x)
+
+		lsh := new(big.Int).Lsh(bx, n)
+		lsh.Mod(lsh, mod256)
+		if ref(x.Lsh(n)).Cmp(lsh) != 0 {
+			return false
+		}
+		rsh := new(big.Int).Rsh(bx, n)
+		return ref(x.Rsh(n)).Cmp(rsh) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmpAgainstBig(t *testing.T) {
+	f := func(a1, a2, a3, a4, b1, b2, b3, b4 uint64) bool {
+		x, y := fromQuads(a1, a2, a3, a4), fromQuads(b1, b2, b3, b4)
+		return x.Cmp(y) == ref(x).Cmp(ref(y))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivModIdentity(t *testing.T) {
+	// x == q*y + r and r < y for y != 0.
+	f := func(a1, a2, a3, a4, b1, b2 uint64) bool {
+		x := fromQuads(a1, a2, a3, a4)
+		y := fromQuads(b1, b2, 0, 0)
+		if y.IsZero() {
+			return true
+		}
+		q, r := x.DivMod(y)
+		if r.Cmp(y) >= 0 {
+			return false
+		}
+		return q.Mul(y).Add(r) == x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitLenAndBit(t *testing.T) {
+	if Zero().BitLen() != 0 {
+		t.Error("BitLen(0) != 0")
+	}
+	if One().BitLen() != 1 {
+		t.Error("BitLen(1) != 1")
+	}
+	if Max().BitLen() != 256 {
+		t.Error("BitLen(Max) != 256")
+	}
+	v := One().Lsh(200)
+	if v.BitLen() != 201 {
+		t.Errorf("BitLen(1<<200) = %d", v.BitLen())
+	}
+	if !v.Bit(200) || v.Bit(199) || v.Bit(256) || v.Bit(-1) {
+		t.Error("Bit() wrong")
+	}
+}
+
+func TestHex(t *testing.T) {
+	cases := map[string]Int{
+		"0x0":    Zero(),
+		"0x1":    One(),
+		"0xff":   FromUint64(255),
+		"0x1234": FromUint64(0x1234),
+	}
+	for want, v := range cases {
+		if v.Hex() != want {
+			t.Errorf("Hex(%d) = %s, want %s", v.Uint64(), v.Hex(), want)
+		}
+	}
+}
+
+func TestWrapAroundProperties(t *testing.T) {
+	f := func(a1, a2, a3, a4 uint64) bool {
+		x := fromQuads(a1, a2, a3, a4)
+		// x - x == 0; x + 0 == x; x * 1 == x; x - y + y == x
+		if !x.Sub(x).IsZero() || x.Add(Zero()) != x || x.Mul(One()) != x {
+			return false
+		}
+		y := fromQuads(a4, a3, a2, a1)
+		return x.Sub(y).Add(y) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	x := fromQuads(0xdeadbeef, 0xcafebabe, 0x12345678, 0x9abcdef0)
+	y := fromQuads(0x11111111, 0x22222222, 0x33333333, 0x44444444)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = x.Mul(y)
+	}
+	_ = x
+}
+
+func BenchmarkDivMod(b *testing.B) {
+	x := Max()
+	y := fromQuads(0xdeadbeef, 0xcafe, 0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.DivMod(y)
+	}
+}

@@ -1,0 +1,594 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/smartcrowd/smartcrowd/internal/crypto/keccak"
+	"github.com/smartcrowd/smartcrowd/internal/types"
+	"github.com/smartcrowd/smartcrowd/internal/vm/uint256"
+)
+
+// StateDB is the slice of chain state the SCVM touches. *state.DB
+// satisfies it.
+type StateDB interface {
+	Balance(types.Address) types.Amount
+	Transfer(from, to types.Address, value types.Amount) error
+	GetStorage(types.Address, types.Hash) types.Hash
+	SetStorage(types.Address, types.Hash, types.Hash)
+}
+
+// BlockContext carries the block-level environment visible to contracts.
+type BlockContext struct {
+	// Number is the executing block's height.
+	Number uint64
+	// Time is the executing block's timestamp (milliseconds).
+	Time uint64
+}
+
+// CallContext describes one contract invocation.
+type CallContext struct {
+	// Caller is the invoking account.
+	Caller types.Address
+	// Contract is the account whose code runs and whose storage is
+	// addressed.
+	Contract types.Address
+	// Value is the currency attached to the call (already credited to the
+	// contract by the transaction layer).
+	Value types.Amount
+	// Input is the calldata.
+	Input []byte
+	// GasLimit caps execution.
+	GasLimit uint64
+}
+
+// Log is an event emitted by the LOG opcode.
+type Log struct {
+	Contract types.Address
+	Topic    types.Hash
+	Data     []byte
+}
+
+// Result is the outcome of an execution.
+type Result struct {
+	// ReturnData is the RETURN (or REVERT) payload.
+	ReturnData []byte
+	// GasUsed is the gas consumed, including on failure.
+	GasUsed uint64
+	// Logs are events emitted during execution (empty after revert).
+	Logs []Log
+	// Reverted marks an explicit REVERT (state was rolled back by the
+	// caller via snapshots; gas is still consumed).
+	Reverted bool
+}
+
+// Execution errors.
+var (
+	ErrOutOfGas       = errors.New("vm: out of gas")
+	ErrStackUnderflow = errors.New("vm: stack underflow")
+	ErrStackOverflow  = errors.New("vm: stack overflow")
+	ErrInvalidJump    = errors.New("vm: invalid jump destination")
+	ErrInvalidOpcode  = errors.New("vm: invalid opcode")
+	ErrRevert         = errors.New("vm: execution reverted")
+	ErrMemoryLimit    = errors.New("vm: memory limit exceeded")
+	ErrTransferFailed = errors.New("vm: transfer failed")
+)
+
+// stackLimit matches the EVM's 1024-word stack bound.
+const stackLimit = 1024
+
+// memoryLimit bounds SCVM memory to 1 MiB; the quadratic gas term makes
+// reaching it practically impossible within sane gas limits.
+const memoryLimit = 1 << 20
+
+// VM executes SCVM bytecode against a StateDB.
+type VM struct {
+	state StateDB
+	block BlockContext
+}
+
+// New constructs a VM bound to a state and block context.
+func New(state StateDB, block BlockContext) *VM {
+	return &VM{state: state, block: block}
+}
+
+// Execute runs code in the given call context. State mutations are applied
+// directly to the StateDB; callers wrap Execute in a snapshot and revert on
+// error or Result.Reverted.
+func (vm *VM) Execute(code []byte, call CallContext) (Result, error) {
+	in := &interp{
+		vm:        vm,
+		code:      code,
+		call:      call,
+		gas:       call.GasLimit,
+		jumpdests: analyzeJumpdests(code),
+	}
+	ret, err := in.run()
+	res := Result{
+		ReturnData: ret,
+		GasUsed:    call.GasLimit - in.gas,
+		Logs:       in.logs,
+	}
+	if errors.Is(err, ErrRevert) {
+		res.Reverted = true
+		res.Logs = nil
+		return res, nil
+	}
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// analyzeJumpdests marks valid JUMPDEST offsets, skipping PUSH immediates.
+func analyzeJumpdests(code []byte) map[uint64]bool {
+	dests := make(map[uint64]bool)
+	for pc := 0; pc < len(code); {
+		op := OpCode(code[pc])
+		if op == JUMPDEST {
+			dests[uint64(pc)] = true
+		}
+		pc += 1 + op.PushSize()
+	}
+	return dests
+}
+
+// interp is the per-call interpreter state.
+type interp struct {
+	vm        *VM
+	code      []byte
+	call      CallContext
+	gas       uint64
+	stack     []uint256.Int
+	mem       []byte
+	logs      []Log
+	jumpdests map[uint64]bool
+}
+
+func (in *interp) useGas(amount uint64) error {
+	if in.gas < amount {
+		in.gas = 0
+		return ErrOutOfGas
+	}
+	in.gas -= amount
+	return nil
+}
+
+func (in *interp) push(v uint256.Int) error {
+	if len(in.stack) >= stackLimit {
+		return ErrStackOverflow
+	}
+	in.stack = append(in.stack, v)
+	return nil
+}
+
+func (in *interp) pop() (uint256.Int, error) {
+	if len(in.stack) == 0 {
+		return uint256.Int{}, ErrStackUnderflow
+	}
+	v := in.stack[len(in.stack)-1]
+	in.stack = in.stack[:len(in.stack)-1]
+	return v, nil
+}
+
+func (in *interp) pop2() (a, b uint256.Int, err error) {
+	if a, err = in.pop(); err != nil {
+		return
+	}
+	b, err = in.pop()
+	return
+}
+
+// expandMem grows memory to cover [offset, offset+size) and charges
+// expansion gas (linear + quadratic term).
+func (in *interp) expandMem(offset, size uint64) error {
+	if size == 0 {
+		return nil
+	}
+	end := offset + size
+	if end < offset || end > memoryLimit {
+		return ErrMemoryLimit
+	}
+	if end <= uint64(len(in.mem)) {
+		return nil
+	}
+	oldWords := (uint64(len(in.mem)) + 31) / 32
+	newWords := (end + 31) / 32
+	oldCost := GasMemoryWord*oldWords + oldWords*oldWords/512
+	newCost := GasMemoryWord*newWords + newWords*newWords/512
+	if err := in.useGas(newCost - oldCost); err != nil {
+		return err
+	}
+	grown := make([]byte, newWords*32)
+	copy(grown, in.mem)
+	in.mem = grown
+	return nil
+}
+
+// asOffset converts a 256-bit word to a memory offset, failing on values
+// beyond the memory limit.
+func asOffset(v uint256.Int) (uint64, error) {
+	if !v.FitsUint64() || v.Uint64() > memoryLimit {
+		return 0, ErrMemoryLimit
+	}
+	return v.Uint64(), nil
+}
+
+func wordToAddress(v uint256.Int) types.Address {
+	b := v.Bytes32()
+	var a types.Address
+	copy(a[:], b[12:])
+	return a
+}
+
+func addressToWord(a types.Address) uint256.Int {
+	return uint256.FromBytes(a[:])
+}
+
+func hashToWord(h types.Hash) uint256.Int { return uint256.FromBytes(h[:]) }
+func wordToHash(v uint256.Int) types.Hash { return types.Hash(v.Bytes32()) }
+func boolWord(b bool) uint256.Int {
+	if b {
+		return uint256.One()
+	}
+	return uint256.Zero()
+}
+
+// run is the dispatch loop.
+func (in *interp) run() ([]byte, error) {
+	var pc uint64
+	for pc < uint64(len(in.code)) {
+		op := OpCode(in.code[pc])
+		if !op.valid() {
+			return nil, fmt.Errorf("%w: 0x%02x at pc %d", ErrInvalidOpcode, byte(op), pc)
+		}
+		if cost, fixed := constantGas(op); fixed {
+			if err := in.useGas(cost); err != nil {
+				return nil, err
+			}
+		}
+
+		switch {
+		case op == STOP:
+			return nil, nil
+
+		case op == ADD, op == MUL, op == SUB, op == DIV, op == MOD,
+			op == LT, op == GT, op == EQ, op == AND, op == OR, op == XOR,
+			op == SHL, op == SHR:
+			a, b, err := in.pop2()
+			if err != nil {
+				return nil, err
+			}
+			var out uint256.Int
+			switch op {
+			case ADD:
+				out = a.Add(b)
+			case MUL:
+				out = a.Mul(b)
+			case SUB:
+				out = a.Sub(b)
+			case DIV:
+				out = a.Div(b)
+			case MOD:
+				out = a.Mod(b)
+			case LT:
+				out = boolWord(a.Cmp(b) < 0)
+			case GT:
+				out = boolWord(a.Cmp(b) > 0)
+			case EQ:
+				out = boolWord(a.Cmp(b) == 0)
+			case AND:
+				out = a.And(b)
+			case OR:
+				out = a.Or(b)
+			case XOR:
+				out = a.Xor(b)
+			case SHL:
+				out = shiftLeft(a, b)
+			case SHR:
+				out = shiftRight(a, b)
+			}
+			if err := in.push(out); err != nil {
+				return nil, err
+			}
+
+		case op == ISZERO:
+			a, err := in.pop()
+			if err != nil {
+				return nil, err
+			}
+			if err := in.push(boolWord(a.IsZero())); err != nil {
+				return nil, err
+			}
+
+		case op == NOT:
+			a, err := in.pop()
+			if err != nil {
+				return nil, err
+			}
+			if err := in.push(a.Not()); err != nil {
+				return nil, err
+			}
+
+		case op == KECCAK256:
+			offW, sizeW, err := in.pop2()
+			if err != nil {
+				return nil, err
+			}
+			off, err := asOffset(offW)
+			if err != nil {
+				return nil, err
+			}
+			size, err := asOffset(sizeW)
+			if err != nil {
+				return nil, err
+			}
+			words := (size + 31) / 32
+			if err := in.useGas(GasKeccakBase + GasKeccakWord*words); err != nil {
+				return nil, err
+			}
+			if err := in.expandMem(off, size); err != nil {
+				return nil, err
+			}
+			sum := keccak.Sum256(in.mem[off : off+size])
+			if err := in.push(uint256.FromBytes(sum[:])); err != nil {
+				return nil, err
+			}
+
+		case op == ADDRESS:
+			if err := in.push(addressToWord(in.call.Contract)); err != nil {
+				return nil, err
+			}
+		case op == CALLER:
+			if err := in.push(addressToWord(in.call.Caller)); err != nil {
+				return nil, err
+			}
+		case op == CALLVALUE:
+			if err := in.push(uint256.FromUint64(uint64(in.call.Value))); err != nil {
+				return nil, err
+			}
+		case op == BALANCE:
+			a, err := in.pop()
+			if err != nil {
+				return nil, err
+			}
+			bal := in.vm.state.Balance(wordToAddress(a))
+			if err := in.push(uint256.FromUint64(uint64(bal))); err != nil {
+				return nil, err
+			}
+		case op == TIMESTAMP:
+			if err := in.push(uint256.FromUint64(in.vm.block.Time)); err != nil {
+				return nil, err
+			}
+		case op == NUMBER:
+			if err := in.push(uint256.FromUint64(in.vm.block.Number)); err != nil {
+				return nil, err
+			}
+		case op == GAS:
+			if err := in.push(uint256.FromUint64(in.gas)); err != nil {
+				return nil, err
+			}
+
+		case op == CALLDATALOAD:
+			offW, err := in.pop()
+			if err != nil {
+				return nil, err
+			}
+			var word [32]byte
+			if offW.FitsUint64() {
+				off := offW.Uint64()
+				for i := uint64(0); i < 32; i++ {
+					if off+i < uint64(len(in.call.Input)) {
+						word[i] = in.call.Input[off+i]
+					}
+				}
+			}
+			if err := in.push(uint256.FromBytes(word[:])); err != nil {
+				return nil, err
+			}
+		case op == CALLDATASIZE:
+			if err := in.push(uint256.FromUint64(uint64(len(in.call.Input)))); err != nil {
+				return nil, err
+			}
+
+		case op == POP:
+			if _, err := in.pop(); err != nil {
+				return nil, err
+			}
+
+		case op == MLOAD:
+			offW, err := in.pop()
+			if err != nil {
+				return nil, err
+			}
+			off, err := asOffset(offW)
+			if err != nil {
+				return nil, err
+			}
+			if err := in.useGas(GasFastest); err != nil {
+				return nil, err
+			}
+			if err := in.expandMem(off, 32); err != nil {
+				return nil, err
+			}
+			if err := in.push(uint256.FromBytes(in.mem[off : off+32])); err != nil {
+				return nil, err
+			}
+		case op == MSTORE:
+			offW, val, err := in.pop2()
+			if err != nil {
+				return nil, err
+			}
+			off, err := asOffset(offW)
+			if err != nil {
+				return nil, err
+			}
+			if err := in.useGas(GasFastest); err != nil {
+				return nil, err
+			}
+			if err := in.expandMem(off, 32); err != nil {
+				return nil, err
+			}
+			b := val.Bytes32()
+			copy(in.mem[off:off+32], b[:])
+
+		case op == SLOAD:
+			key, err := in.pop()
+			if err != nil {
+				return nil, err
+			}
+			v := in.vm.state.GetStorage(in.call.Contract, wordToHash(key))
+			if err := in.push(hashToWord(v)); err != nil {
+				return nil, err
+			}
+		case op == SSTORE:
+			key, val, err := in.pop2()
+			if err != nil {
+				return nil, err
+			}
+			k := wordToHash(key)
+			prev := in.vm.state.GetStorage(in.call.Contract, k)
+			cost := GasSStoreReset
+			if prev.IsZero() && !val.IsZero() {
+				cost = GasSStoreSet
+			}
+			if err := in.useGas(cost); err != nil {
+				return nil, err
+			}
+			in.vm.state.SetStorage(in.call.Contract, k, wordToHash(val))
+
+		case op == JUMP:
+			dest, err := in.pop()
+			if err != nil {
+				return nil, err
+			}
+			if !dest.FitsUint64() || !in.jumpdests[dest.Uint64()] {
+				return nil, fmt.Errorf("%w: %s", ErrInvalidJump, dest.Hex())
+			}
+			pc = dest.Uint64()
+			continue
+		case op == JUMPI:
+			dest, cond, err := in.pop2()
+			if err != nil {
+				return nil, err
+			}
+			if !cond.IsZero() {
+				if !dest.FitsUint64() || !in.jumpdests[dest.Uint64()] {
+					return nil, fmt.Errorf("%w: %s", ErrInvalidJump, dest.Hex())
+				}
+				pc = dest.Uint64()
+				continue
+			}
+		case op == JUMPDEST:
+			// no-op marker
+
+		case op.IsPush():
+			size := uint64(op.PushSize())
+			end := pc + 1 + size
+			if end > uint64(len(in.code)) {
+				end = uint64(len(in.code))
+			}
+			if err := in.push(uint256.FromBytes(in.code[pc+1 : end])); err != nil {
+				return nil, err
+			}
+			pc += size
+
+		case op >= DUP1 && op <= DUP16:
+			n := int(op - DUP1 + 1)
+			if len(in.stack) < n {
+				return nil, ErrStackUnderflow
+			}
+			if err := in.push(in.stack[len(in.stack)-n]); err != nil {
+				return nil, err
+			}
+		case op >= SWAP1 && op <= SWAP16:
+			n := int(op - SWAP1 + 1)
+			if len(in.stack) < n+1 {
+				return nil, ErrStackUnderflow
+			}
+			top := len(in.stack) - 1
+			in.stack[top], in.stack[top-n] = in.stack[top-n], in.stack[top]
+
+		case op == LOG:
+			topic, err := in.pop()
+			if err != nil {
+				return nil, err
+			}
+			offW, sizeW, err := in.pop2()
+			if err != nil {
+				return nil, err
+			}
+			off, err := asOffset(offW)
+			if err != nil {
+				return nil, err
+			}
+			size, err := asOffset(sizeW)
+			if err != nil {
+				return nil, err
+			}
+			if err := in.useGas(GasLogBase + GasLogByte*size); err != nil {
+				return nil, err
+			}
+			if err := in.expandMem(off, size); err != nil {
+				return nil, err
+			}
+			in.logs = append(in.logs, Log{
+				Contract: in.call.Contract,
+				Topic:    wordToHash(topic),
+				Data:     append([]byte(nil), in.mem[off:off+size]...),
+			})
+
+		case op == TRANSFER:
+			toW, amountW, err := in.pop2()
+			if err != nil {
+				return nil, err
+			}
+			if !amountW.FitsUint64() {
+				return nil, fmt.Errorf("%w: amount exceeds 64 bits", ErrTransferFailed)
+			}
+			to := wordToAddress(toW)
+			amount := types.Amount(amountW.Uint64())
+			if err := in.vm.state.Transfer(in.call.Contract, to, amount); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrTransferFailed, err)
+			}
+
+		case op == RETURN, op == REVERT:
+			offW, sizeW, err := in.pop2()
+			if err != nil {
+				return nil, err
+			}
+			off, err := asOffset(offW)
+			if err != nil {
+				return nil, err
+			}
+			size, err := asOffset(sizeW)
+			if err != nil {
+				return nil, err
+			}
+			if err := in.expandMem(off, size); err != nil {
+				return nil, err
+			}
+			ret := append([]byte(nil), in.mem[off:off+size]...)
+			if op == REVERT {
+				return ret, ErrRevert
+			}
+			return ret, nil
+		}
+		pc++
+	}
+	return nil, nil
+}
+
+func shiftLeft(shift, value uint256.Int) uint256.Int {
+	if !shift.FitsUint64() || shift.Uint64() >= 256 {
+		return uint256.Zero()
+	}
+	return value.Lsh(uint(shift.Uint64()))
+}
+
+func shiftRight(shift, value uint256.Int) uint256.Int {
+	if !shift.FitsUint64() || shift.Uint64() >= 256 {
+		return uint256.Zero()
+	}
+	return value.Rsh(uint(shift.Uint64()))
+}

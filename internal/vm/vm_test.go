@@ -1,0 +1,554 @@
+package vm
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/smartcrowd/smartcrowd/internal/crypto/keccak"
+	"github.com/smartcrowd/smartcrowd/internal/state"
+	"github.com/smartcrowd/smartcrowd/internal/types"
+	"github.com/smartcrowd/smartcrowd/internal/wallet"
+)
+
+var (
+	testContract = wallet.NewDeterministic("contract").Address()
+	testCaller   = wallet.NewDeterministic("caller").Address()
+)
+
+// run assembles src and executes it with sensible defaults.
+func run(t *testing.T, src string, tweak func(*CallContext, *state.DB)) (Result, error) {
+	t.Helper()
+	code, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	db := state.New()
+	call := CallContext{
+		Caller:   testCaller,
+		Contract: testContract,
+		GasLimit: 1_000_000,
+	}
+	if tweak != nil {
+		tweak(&call, db)
+	}
+	machine := New(db, BlockContext{Number: 7, Time: 1234})
+	return machine.Execute(code, call)
+}
+
+// returnedWord extracts a 32-byte return value as uint64.
+func returnedWord(t *testing.T, res Result) uint64 {
+	t.Helper()
+	if len(res.ReturnData) != 32 {
+		t.Fatalf("return data = %d bytes, want 32", len(res.ReturnData))
+	}
+	var v uint64
+	for _, b := range res.ReturnData[24:] {
+		v = v<<8 | uint64(b)
+	}
+	return v
+}
+
+// retProgram wraps an expression that leaves one value on the stack into a
+// program that returns it.
+const retSuffix = `
+PUSH 0
+MSTORE
+PUSH 32
+PUSH 0
+RETURN
+`
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want uint64
+	}{
+		{"add", "PUSH 2\nPUSH 3\nADD", 5},
+		{"sub order", "PUSH 3\nPUSH 10\nSUB", 7}, // top-of-stack is first operand
+		{"mul", "PUSH 6\nPUSH 7\nMUL", 42},
+		{"div", "PUSH 5\nPUSH 40\nDIV", 8},
+		{"div by zero", "PUSH 0\nPUSH 40\nDIV", 0},
+		{"mod", "PUSH 7\nPUSH 40\nMOD", 5},
+		{"mod by zero", "PUSH 0\nPUSH 40\nMOD", 0},
+		{"lt true", "PUSH 9\nPUSH 3\nLT", 1},
+		{"lt false", "PUSH 3\nPUSH 9\nLT", 0},
+		{"gt true", "PUSH 3\nPUSH 9\nGT", 1},
+		{"eq", "PUSH 5\nPUSH 5\nEQ", 1},
+		{"iszero", "PUSH 0\nISZERO", 1},
+		{"and", "PUSH 0xff\nPUSH 0x0f\nAND", 0x0f},
+		{"or", "PUSH 0xf0\nPUSH 0x0f\nOR", 0xff},
+		{"xor", "PUSH 0xff\nPUSH 0x0f\nXOR", 0xf0},
+		{"shl", "PUSH 1\nPUSH 4\nSHL", 16},
+		{"shr", "PUSH 16\nPUSH 2\nSHR", 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := run(t, tc.src+retSuffix, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := returnedWord(t, res); got != tc.want {
+				t.Errorf("got %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestStackManipulation(t *testing.T) {
+	res, err := run(t, "PUSH 1\nPUSH 2\nPUSH 3\nSWAP2\nPOP\nPOP"+retSuffix, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := returnedWord(t, res); got != 3 {
+		t.Errorf("SWAP2 result = %d, want 3", got)
+	}
+
+	res, err = run(t, "PUSH 9\nDUP1\nADD"+retSuffix, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := returnedWord(t, res); got != 18 {
+		t.Errorf("DUP1+ADD = %d, want 18", got)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	src := `
+PUSH 10
+PUSH 1
+PUSH @skip
+JUMPI
+PUSH 99      ; dead code
+POP
+skip:
+` + retSuffix
+	res, err := run(t, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := returnedWord(t, res); got != 10 {
+		t.Errorf("JUMPI result = %d, want 10", got)
+	}
+}
+
+func TestLoopSumsOneToTen(t *testing.T) {
+	src := `
+PUSH 0        ; sum
+PUSH 1        ; i
+loop:
+DUP1          ; i
+PUSH 10
+LT            ; 10 < i ?
+PUSH @done
+JUMPI
+DUP1          ; sum i i
+SWAP2         ; i i sum
+ADD           ; i sum'
+SWAP1         ; sum' i
+PUSH 1
+ADD           ; sum' i+1
+PUSH @loop
+JUMP
+done:
+POP
+` + retSuffix
+	res, err := run(t, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := returnedWord(t, res); got != 55 {
+		t.Errorf("loop sum = %d, want 55", got)
+	}
+}
+
+func TestInvalidJumpRejected(t *testing.T) {
+	// Jump into the middle of a PUSH immediate that contains a JUMPDEST
+	// byte must fail.
+	_, err := run(t, "PUSH 3\nJUMP\nPUSH 0x5b\nSTOP", nil)
+	if !errors.Is(err, ErrInvalidJump) {
+		t.Errorf("err = %v, want ErrInvalidJump", err)
+	}
+}
+
+func TestStorage(t *testing.T) {
+	src := `
+PUSH 0xbeef
+PUSH 1
+SSTORE
+PUSH 1
+SLOAD
+` + retSuffix
+	res, err := run(t, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := returnedWord(t, res); got != 0xbeef {
+		t.Errorf("SLOAD after SSTORE = %#x, want 0xbeef", got)
+	}
+}
+
+func TestStoragePersistsInStateDB(t *testing.T) {
+	db := state.New()
+	code := MustAssemble("PUSH 77\nPUSH 5\nSSTORE\nSTOP")
+	machine := New(db, BlockContext{})
+	if _, err := machine.Execute(code, CallContext{Contract: testContract, GasLimit: 100_000}); err != nil {
+		t.Fatal(err)
+	}
+	var key types.Hash
+	key[31] = 5
+	got := db.GetStorage(testContract, key)
+	if got[31] != 77 {
+		t.Errorf("storage slot = %v, want 77 in last byte", got)
+	}
+}
+
+func TestEnvironmentOpcodes(t *testing.T) {
+	t.Run("caller", func(t *testing.T) {
+		res, err := run(t, "CALLER"+retSuffix, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(res.ReturnData[12:], testCaller[:]) {
+			t.Error("CALLER returned wrong address")
+		}
+	})
+	t.Run("address", func(t *testing.T) {
+		res, err := run(t, "ADDRESS"+retSuffix, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(res.ReturnData[12:], testContract[:]) {
+			t.Error("ADDRESS returned wrong address")
+		}
+	})
+	t.Run("callvalue", func(t *testing.T) {
+		res, err := run(t, "CALLVALUE"+retSuffix, func(c *CallContext, _ *state.DB) {
+			c.Value = 12345
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := returnedWord(t, res); got != 12345 {
+			t.Errorf("CALLVALUE = %d", got)
+		}
+	})
+	t.Run("number and timestamp", func(t *testing.T) {
+		res, err := run(t, "NUMBER\nTIMESTAMP\nADD"+retSuffix, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := returnedWord(t, res); got != 7+1234 {
+			t.Errorf("NUMBER+TIMESTAMP = %d, want %d", got, 7+1234)
+		}
+	})
+	t.Run("balance", func(t *testing.T) {
+		res, err := run(t, "ADDRESS\nBALANCE"+retSuffix, func(_ *CallContext, db *state.DB) {
+			_ = db.Credit(testContract, 5000)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := returnedWord(t, res); got != 5000 {
+			t.Errorf("BALANCE = %d, want 5000", got)
+		}
+	})
+}
+
+func TestCalldata(t *testing.T) {
+	res, err := run(t, "PUSH 0\nCALLDATALOAD"+retSuffix, func(c *CallContext, _ *state.DB) {
+		input := make([]byte, 32)
+		input[31] = 0x42
+		c.Input = input
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := returnedWord(t, res); got != 0x42 {
+		t.Errorf("CALLDATALOAD = %#x", got)
+	}
+
+	res, err = run(t, "CALLDATASIZE"+retSuffix, func(c *CallContext, _ *state.DB) {
+		c.Input = make([]byte, 99)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := returnedWord(t, res); got != 99 {
+		t.Errorf("CALLDATASIZE = %d", got)
+	}
+}
+
+func TestCalldataLoadPastEndPadsZero(t *testing.T) {
+	res, err := run(t, "PUSH 100\nCALLDATALOAD"+retSuffix, func(c *CallContext, _ *state.DB) {
+		c.Input = []byte{1, 2, 3}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := returnedWord(t, res); got != 0 {
+		t.Errorf("out-of-range CALLDATALOAD = %d, want 0", got)
+	}
+}
+
+func TestKeccakOpcode(t *testing.T) {
+	// Hash 32 bytes of zeroed memory and compare with the library.
+	res, err := run(t, "PUSH 32\nPUSH 0\nKECCAK256"+retSuffix, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := keccak.Sum256(make([]byte, 32))
+	if !bytes.Equal(res.ReturnData, want[:]) {
+		t.Error("KECCAK256 disagrees with library hash")
+	}
+}
+
+func TestTransferOpcode(t *testing.T) {
+	payee := wallet.NewDeterministic("payee").Address()
+	var db *state.DB
+	src := `
+PUSH 400
+PUSH 0x` + strings.TrimPrefix(payee.String(), "0x") + `
+TRANSFER
+STOP`
+	_, err := run(t, src, func(_ *CallContext, d *state.DB) {
+		db = d
+		_ = d.Credit(testContract, 1000)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Balance(payee) != 400 || db.Balance(testContract) != 600 {
+		t.Errorf("balances after TRANSFER: payee=%d contract=%d", db.Balance(payee), db.Balance(testContract))
+	}
+}
+
+func TestTransferInsufficientFails(t *testing.T) {
+	payee := wallet.NewDeterministic("payee").Address()
+	src := `
+PUSH 400
+PUSH 0x` + strings.TrimPrefix(payee.String(), "0x") + `
+TRANSFER
+STOP`
+	_, err := run(t, src, nil) // contract has no balance
+	if !errors.Is(err, ErrTransferFailed) {
+		t.Errorf("err = %v, want ErrTransferFailed", err)
+	}
+}
+
+func TestRevert(t *testing.T) {
+	res, err := run(t, "PUSH 0xdead"+`
+PUSH 0
+MSTORE
+PUSH 32
+PUSH 0
+REVERT`, nil)
+	if err != nil {
+		t.Fatalf("REVERT should not surface as error: %v", err)
+	}
+	if !res.Reverted {
+		t.Error("Reverted flag not set")
+	}
+	if returnedWord(t, res) != 0xdead {
+		t.Error("revert data lost")
+	}
+	if res.Logs != nil {
+		t.Error("logs must be dropped on revert")
+	}
+}
+
+func TestLogs(t *testing.T) {
+	src := `
+PUSH 0xabcd
+PUSH 0
+MSTORE
+PUSH 32    ; size
+PUSH 0     ; offset
+PUSH 7     ; topic
+LOG
+STOP`
+	res, err := run(t, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Logs) != 1 {
+		t.Fatalf("logs = %d, want 1", len(res.Logs))
+	}
+	log := res.Logs[0]
+	if log.Topic[31] != 7 || log.Contract != testContract || len(log.Data) != 32 {
+		t.Errorf("log mismatch: %+v", log)
+	}
+}
+
+func TestOutOfGas(t *testing.T) {
+	_, err := run(t, "PUSH 1\nPUSH 2\nADD\nSTOP", func(c *CallContext, _ *state.DB) {
+		c.GasLimit = 5 // two pushes already cost 6
+	})
+	if !errors.Is(err, ErrOutOfGas) {
+		t.Errorf("err = %v, want ErrOutOfGas", err)
+	}
+}
+
+func TestGasAccounting(t *testing.T) {
+	res, err := run(t, "PUSH 1\nPUSH 2\nADD\nSTOP", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := GasFastest*3 + 0 // two PUSH + ADD; STOP free
+	if res.GasUsed != want {
+		t.Errorf("GasUsed = %d, want %d", res.GasUsed, want)
+	}
+}
+
+func TestSStoreGasTiers(t *testing.T) {
+	fresh, err := run(t, "PUSH 1\nPUSH 9\nSSTORE\nSTOP", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overwrite, err := run(t, "PUSH 1\nPUSH 9\nSSTORE\nPUSH 2\nPUSH 9\nSSTORE\nSTOP", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := overwrite.GasUsed - fresh.GasUsed
+	want := GasFastest*2 + GasSStoreReset
+	if delta != want {
+		t.Errorf("second SSTORE cost %d, want %d (reset tier)", delta, want)
+	}
+}
+
+func TestStackUnderflowAndOverflow(t *testing.T) {
+	if _, err := run(t, "ADD\nSTOP", nil); !errors.Is(err, ErrStackUnderflow) {
+		t.Errorf("underflow err = %v", err)
+	}
+	var sb strings.Builder
+	for i := 0; i < stackLimit+1; i++ {
+		sb.WriteString("PUSH 1\n")
+	}
+	sb.WriteString("STOP")
+	if _, err := run(t, sb.String(), func(c *CallContext, _ *state.DB) {
+		c.GasLimit = 10_000_000
+	}); !errors.Is(err, ErrStackOverflow) {
+		t.Errorf("overflow err = %v", err)
+	}
+}
+
+func TestInvalidOpcode(t *testing.T) {
+	db := state.New()
+	machine := New(db, BlockContext{})
+	_, err := machine.Execute([]byte{0xEF}, CallContext{GasLimit: 1000})
+	if !errors.Is(err, ErrInvalidOpcode) {
+		t.Errorf("err = %v, want ErrInvalidOpcode", err)
+	}
+}
+
+func TestMemoryLimit(t *testing.T) {
+	_, err := run(t, "PUSH 0x200000\nMLOAD\nSTOP", func(c *CallContext, _ *state.DB) {
+		c.GasLimit = 100_000_000
+	})
+	if !errors.Is(err, ErrMemoryLimit) {
+		t.Errorf("err = %v, want ErrMemoryLimit", err)
+	}
+}
+
+func TestImplicitStopAtCodeEnd(t *testing.T) {
+	res, err := run(t, "PUSH 5\nPOP", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reverted || len(res.ReturnData) != 0 {
+		t.Error("falling off code end should act as STOP")
+	}
+}
+
+func TestIntrinsicGas(t *testing.T) {
+	if g := IntrinsicGas(nil, false); g != GasTxBase {
+		t.Errorf("empty tx gas = %d", g)
+	}
+	data := []byte{0, 1, 0, 2}
+	want := GasTxBase + 2*GasTxDataZero + 2*GasTxDataNonZero
+	if g := IntrinsicGas(data, false); g != want {
+		t.Errorf("data tx gas = %d, want %d", g, want)
+	}
+	if g := IntrinsicGas(nil, true); g != GasTxBase+GasContractCreation {
+		t.Errorf("creation gas = %d", g)
+	}
+}
+
+func BenchmarkLoop1000(b *testing.B) {
+	src := `
+PUSH 0
+PUSH 1
+loop:
+DUP1
+PUSH 1000
+LT
+PUSH @done
+JUMPI
+DUP1
+SWAP2
+ADD
+SWAP1
+PUSH 1
+ADD
+PUSH @loop
+JUMP
+done:
+STOP`
+	code := MustAssemble(src)
+	db := state.New()
+	machine := New(db, BlockContext{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := machine.Execute(code, CallContext{GasLimit: 10_000_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// FuzzExecute feeds arbitrary bytecode to the interpreter: it must never
+// panic, never exceed its gas limit, and always terminate.
+func FuzzExecute(f *testing.F) {
+	f.Add(MustAssemble("PUSH 1\nPUSH 2\nADD\nSTOP"))
+	f.Add(MustAssemble("PUSH 0\nCALLDATALOAD\nPUSH 0\nSSTORE\nSTOP"))
+	f.Add([]byte{0x60}) // truncated PUSH
+	f.Add([]byte{byte(JUMP), byte(JUMPDEST)})
+	f.Fuzz(func(t *testing.T, code []byte) {
+		db := state.New()
+		_ = db.Credit(testContract, 1_000_000)
+		machine := New(db, BlockContext{Number: 1, Time: 1})
+		const gasLimit = 50_000
+		res, err := machine.Execute(code, CallContext{
+			Caller:   testCaller,
+			Contract: testContract,
+			Input:    []byte{1, 2, 3, 4},
+			GasLimit: gasLimit,
+		})
+		if err == nil && res.GasUsed > gasLimit {
+			t.Fatalf("gas used %d exceeds limit %d", res.GasUsed, gasLimit)
+		}
+	})
+}
+
+// TestExecuteArbitraryBytecodeNeverPanics runs a deterministic sweep of
+// pseudo-random bytecode as a cheap always-on version of FuzzExecute.
+func TestExecuteArbitraryBytecodeNeverPanics(t *testing.T) {
+	db := state.New()
+	machine := New(db, BlockContext{})
+	seed := uint64(0x5eed)
+	next := func() byte {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return byte(seed >> 33)
+	}
+	for trial := 0; trial < 500; trial++ {
+		code := make([]byte, int(next())%64+1)
+		for i := range code {
+			code[i] = next()
+		}
+		if _, err := machine.Execute(code, CallContext{GasLimit: 20_000}); err != nil {
+			continue // errors are fine; panics are not
+		}
+	}
+}
