@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test check fmt vet race bench
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the pre-commit gate: formatting, static analysis, and the full
+# suite under the race detector.
+check: fmt vet race
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the chain-core microbenchmarks (state root, CoW copy, block
+# insert, reorg, detection query).
+bench:
+	$(GO) test ./internal/state/ ./internal/chain/ -run NONE -bench . -benchtime 20x

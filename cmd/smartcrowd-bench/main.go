@@ -30,10 +30,11 @@ func main() {
 
 func run() int {
 	var (
-		full   = flag.Bool("full", false, "paper-sized runs (slower)")
-		only   = flag.String("run", "", "comma-separated experiment ids (default: all)")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		csvDir = flag.String("csv", "", "also write each report as CSV into this directory")
+		full    = flag.Bool("full", false, "paper-sized runs (slower)")
+		only    = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		csvDir  = flag.String("csv", "", "also write each report as CSV into this directory")
+		jsonDir = flag.String("json", "", "also write each report (rows, notes, metrics) as JSON into this directory")
 	)
 	flag.Parse()
 
@@ -77,6 +78,16 @@ func run() int {
 			path := filepath.Join(*csvDir, exp.ID+".csv")
 			if err := os.WriteFile(path, []byte(report.CSV()), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "smartcrowd-bench: write %s: %v\n", path, err)
+				failures++
+			}
+		}
+		if *jsonDir != "" {
+			data, err := report.JSON()
+			if err == nil {
+				err = os.WriteFile(filepath.Join(*jsonDir, exp.ID+".json"), data, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "smartcrowd-bench: json %s: %v\n", exp.ID, err)
 				failures++
 			}
 		}

@@ -21,6 +21,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -48,6 +49,10 @@ type Report struct {
 	Rows [][]string
 	// Notes records paper-vs-measured shape observations.
 	Notes []string
+	// Metrics holds machine-readable scalar results (e.g. "blocks_per_sec")
+	// for dashboards and regression tracking; most figure regenerations
+	// leave it nil.
+	Metrics map[string]float64 `json:",omitempty"`
 	// ShapeOK reports whether every qualitative claim held.
 	ShapeOK bool
 }
@@ -135,6 +140,12 @@ func (r *Report) CSV() string {
 	return sb.String()
 }
 
+// JSON renders the full report (rows, notes, metrics, verdict) as
+// indented JSON for machine consumers.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
 // Experiment is a runnable table/figure regeneration.
 type Experiment struct {
 	ID    string
@@ -158,6 +169,7 @@ func All() []Experiment {
 		{ID: "abl-escrow", Title: "Ablation: escrowed vs goodwill punishment", Run: AblationEscrow},
 		{ID: "abl-majority", Title: "Analysis: 51% attack success probability", Run: AblationMajority},
 		{ID: "abl-dct", Title: "Analysis: total detection capability vs crowd size", Run: AnalysisDCT},
+		{ID: "chaincore", Title: "Chain-core hot paths: insert throughput, state root, detection query", Run: ChainCore},
 	}
 }
 

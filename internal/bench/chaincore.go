@@ -1,0 +1,283 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/smartcrowd/smartcrowd/internal/chain"
+	"github.com/smartcrowd/smartcrowd/internal/contract"
+	"github.com/smartcrowd/smartcrowd/internal/state"
+	"github.com/smartcrowd/smartcrowd/internal/types"
+	"github.com/smartcrowd/smartcrowd/internal/wallet"
+)
+
+// ChainCore measures the chain's three hot paths — block insertion
+// throughput, state-root maintenance, and the consumer detection query —
+// and emits machine-readable metrics next to the usual table. The shape
+// checks pin the asymptotic wins of the incremental architecture: the
+// root after touching one account must beat a from-scratch rebuild by
+// far more than 5x, and the indexed detection query must beat the linear
+// chain scan.
+func ChainCore(scale Scale) (*Report, error) {
+	accounts, insertBlocks, reportPairs := 2_000, 20, 120
+	queryFactor := 10.0 // quick chains are short; the scan's handicap shrinks
+	if scale == Full {
+		accounts, insertBlocks, reportPairs = 10_000, 50, 2_500
+		queryFactor = 50
+	}
+
+	r := &Report{
+		ID:      "chaincore",
+		Title:   "Chain-core hot paths: insert throughput, state root, detection query",
+		Headers: []string{"Path", "Result"},
+		Metrics: make(map[string]float64),
+		ShapeOK: true,
+	}
+
+	rootInc, rootFull, err := measureRoots(accounts)
+	if err != nil {
+		return nil, err
+	}
+	blocksPerSec, err := measureInsertThroughput(accounts, insertBlocks)
+	if err != nil {
+		return nil, err
+	}
+	queryIdx, queryScan, err := measureDetectionQuery(reportPairs)
+	if err != nil {
+		return nil, err
+	}
+
+	r.Metrics["accounts"] = float64(accounts)
+	r.Metrics["blocks_per_sec"] = blocksPerSec
+	r.Metrics["root_incremental_ns"] = rootInc
+	r.Metrics["root_full_build_ns"] = rootFull
+	r.Metrics["query_indexed_ns"] = queryIdx
+	r.Metrics["query_scan_ns"] = queryScan
+	r.Metrics["query_chain_blocks"] = float64(2 * reportPairs)
+
+	r.Rows = [][]string{
+		{"block insert (20 transfers)", fmt.Sprintf("%.1f blocks/sec at %d accounts", blocksPerSec, accounts)},
+		{"state root, 1 account touched", fmt.Sprintf("%.0f ns/op (full rebuild: %.0f ns)", rootInc, rootFull)},
+		{"detection query, indexed", fmt.Sprintf("%.0f ns/op on a %d-block chain", queryIdx, 2*reportPairs)},
+		{"detection query, linear scan", fmt.Sprintf("%.0f ns/op (oracle)", queryScan)},
+	}
+
+	r.check(rootInc*5 < rootFull,
+		"incremental root (%.0f ns) ≥5x faster than full rebuild (%.0f ns)", rootInc, rootFull)
+	r.check(queryIdx*queryFactor < queryScan,
+		"indexed query (%.0f ns) ≥%.0fx faster than the chain scan (%.0f ns)",
+		queryIdx, queryFactor, queryScan)
+	r.check(blocksPerSec > 1, "insert throughput is non-degenerate (%.1f blocks/sec)", blocksPerSec)
+	return r, nil
+}
+
+// chaincoreAddr derives distinct well-distributed addresses.
+func chaincoreAddr(i int) types.Address {
+	h := types.HashBytes([]byte{0xCC, byte(i >> 16), byte(i >> 8), byte(i)})
+	var a types.Address
+	copy(a[:], h[:20])
+	return a
+}
+
+// measureRoots times Root() after touching one account in an n-account
+// state, and a from-scratch build of the same state — the cost a
+// non-incremental commitment pays every block.
+func measureRoots(n int) (incNS, fullNS float64, err error) {
+	build := func() *state.DB {
+		db := state.New()
+		for i := 0; i < n; i++ {
+			_ = db.Credit(chaincoreAddr(i), types.Amount(i+1))
+		}
+		db.DiscardSnapshots()
+		return db
+	}
+
+	start := time.Now()
+	db := build()
+	_ = db.Root()
+	fullNS = float64(time.Since(start).Nanoseconds())
+
+	const iters = 20
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		_ = db.Credit(chaincoreAddr(i%n), 1)
+		db.DiscardSnapshots()
+		_ = db.Root()
+	}
+	incNS = float64(time.Since(start).Nanoseconds()) / iters
+	return incNS, fullNS, nil
+}
+
+// measureInsertThroughput times end-to-end block processing (build +
+// execute + root + verify + index) with 20 transfers per block against a
+// world of n allocated accounts.
+func measureInsertThroughput(n, blocks int) (float64, error) {
+	alice := wallet.NewDeterministic("chaincore-alice")
+	verifier := contract.VerifierFunc(func(types.Hash, types.Finding) bool { return true })
+	cfg := chain.DefaultConfig(contract.New(contract.DefaultParams(), verifier))
+	cfg.SkipPoWCheck = true
+	cfg.Alloc = make(map[types.Address]types.Amount, n+1)
+	for i := 0; i < n; i++ {
+		cfg.Alloc[chaincoreAddr(i)] = types.Amount(i + 1)
+	}
+	cfg.Alloc[alice.Address()] = types.EtherAmount(1_000_000)
+	c, err := chain.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	miner := wallet.NewDeterministic("chaincore-miner").Address()
+
+	const txPerBlock = 20
+	batches := make([][]*types.Transaction, blocks)
+	nonce := uint64(0)
+	for i := range batches {
+		batch := make([]*types.Transaction, txPerBlock)
+		for j := range batch {
+			tx := &types.Transaction{
+				Kind:     types.TxTransfer,
+				Nonce:    nonce,
+				To:       types.Address{1},
+				Value:    1,
+				GasLimit: 21_000,
+				GasPrice: 50,
+			}
+			if err := types.SignTx(tx, alice); err != nil {
+				return 0, err
+			}
+			nonce++
+			batch[j] = tx
+		}
+		batches[i] = batch
+	}
+
+	start := time.Now()
+	for i := 0; i < blocks; i++ {
+		head := c.Head()
+		blk, err := c.BuildBlock(head.ID(), miner, head.Header.Time+15_000, 1000, batches[i])
+		if err != nil {
+			return 0, err
+		}
+		if _, err := c.InsertBlock(blk); err != nil {
+			return 0, err
+		}
+	}
+	return float64(blocks) / time.Since(start).Seconds(), nil
+}
+
+// measureDetectionQuery builds a chain carrying one report transaction
+// per block across ten SRAs and times DetectionResults (indexed) against
+// DetectionResultsScan (the pre-index oracle) for one SRA.
+func measureDetectionQuery(pairs int) (idxNS, scanNS float64, err error) {
+	provider := wallet.NewDeterministic("chaincore-provider")
+	detector := wallet.NewDeterministic("chaincore-detector")
+	miner := wallet.NewDeterministic("chaincore-miner").Address()
+	verifier := contract.VerifierFunc(func(types.Hash, types.Finding) bool { return true })
+	cfg := chain.DefaultConfig(contract.New(contract.DefaultParams(), verifier))
+	cfg.SkipPoWCheck = true
+	cfg.Alloc = map[types.Address]types.Amount{
+		provider.Address(): types.EtherAmount(50_000),
+		detector.Address(): types.EtherAmount(5_000),
+	}
+	c, err := chain.New(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	nonces := map[types.Address]uint64{}
+	nextNonce := func(a types.Address) uint64 {
+		n := nonces[a]
+		nonces[a] = n + 1
+		return n
+	}
+	extend := func(txs ...*types.Transaction) error {
+		head := c.Head()
+		blk, err := c.BuildBlock(head.ID(), miner, head.Header.Time+15_350, 1000, txs)
+		if err != nil {
+			return err
+		}
+		_, err = c.InsertBlock(blk)
+		return err
+	}
+
+	sras := make([]*types.SRA, 10)
+	for i := range sras {
+		sra := &types.SRA{
+			Provider:     provider.Address(),
+			Name:         "cam-fw",
+			Version:      fmt.Sprintf("3.%d", i),
+			SystemHash:   types.HashBytes([]byte{0x51, byte(i)}),
+			DownloadLink: fmt.Sprintf("sc://releases/cam-fw/3.%d", i),
+			Insurance:    types.EtherAmount(2_000),
+			Bounty:       types.EtherAmount(1),
+		}
+		if err := types.SignSRA(sra, provider); err != nil {
+			return 0, 0, err
+		}
+		tx := types.NewSRATx(sra, nextNonce(provider.Address()), 2_000_000, 50*types.GWei)
+		if err := types.SignTx(tx, provider); err != nil {
+			return 0, 0, err
+		}
+		if err := extend(tx); err != nil {
+			return 0, 0, err
+		}
+		sras[i] = sra
+	}
+	for i := 0; i < pairs; i++ {
+		sra := sras[i%len(sras)]
+		detailed := &types.DetailedReport{
+			SRAID:    sra.ID,
+			Detector: detector.Address(),
+			Wallet:   detector.Address(),
+			Findings: []types.Finding{{VulnID: fmt.Sprintf("V-%d", i), Severity: types.SeverityHigh, Evidence: "poc"}},
+		}
+		if err := types.SignDetailedReport(detailed, detector); err != nil {
+			return 0, 0, err
+		}
+		initial := &types.InitialReport{
+			SRAID:      sra.ID,
+			Detector:   detector.Address(),
+			DetailHash: detailed.CommitmentHash(),
+			Wallet:     detector.Address(),
+		}
+		if err := types.SignInitialReport(initial, detector); err != nil {
+			return 0, 0, err
+		}
+		itx := types.NewInitialReportTx(initial, nextNonce(detector.Address()), 150_000, 50*types.GWei)
+		if err := types.SignTx(itx, detector); err != nil {
+			return 0, 0, err
+		}
+		dtx := types.NewDetailedReportTx(detailed, nextNonce(detector.Address()), 150_000, 50*types.GWei)
+		if err := types.SignTx(dtx, detector); err != nil {
+			return 0, 0, err
+		}
+		if err := extend(itx); err != nil {
+			return 0, 0, err
+		}
+		if err := extend(dtx); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	target := sras[0].ID
+	want := len(c.DetectionResults(target))
+	if want == 0 {
+		return 0, 0, fmt.Errorf("chaincore: no detection records indexed")
+	}
+
+	const iters = 50
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if got := c.DetectionResults(target); len(got) != want {
+			return 0, 0, fmt.Errorf("chaincore: indexed query returned %d records, want %d", len(got), want)
+		}
+	}
+	idxNS = float64(time.Since(start).Nanoseconds()) / iters
+
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if got := c.DetectionResultsScan(target); len(got) != want {
+			return 0, 0, fmt.Errorf("chaincore: scan returned %d records, want %d", len(got), want)
+		}
+	}
+	scanNS = float64(time.Since(start).Nanoseconds()) / iters
+	return idxNS, scanNS, nil
+}

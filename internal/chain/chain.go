@@ -104,6 +104,10 @@ type Chain struct {
 	head    *entry
 	canon   []*entry // canonical chain, canon[i].block.Header.Number == i
 	txIndex map[types.Hash]txLoc
+	// detIndex maps an SRA id to its canonical detection records in chain
+	// order, maintained incrementally by setHead exactly like txIndex, so
+	// consumer queries are a map lookup instead of a full-chain scan.
+	detIndex map[types.Hash][]DetectionRecord
 }
 
 // New creates a chain with a genesis block derived from the config's
@@ -127,12 +131,13 @@ func New(cfg Config) (*Chain, error) {
 	}
 	g := &entry{block: genesis, post: st}
 	c := &Chain{
-		cfg:     cfg,
-		genesis: g,
-		entries: map[types.Hash]*entry{genesis.ID(): g},
-		head:    g,
-		canon:   []*entry{g},
-		txIndex: make(map[types.Hash]txLoc),
+		cfg:      cfg,
+		genesis:  g,
+		entries:  map[types.Hash]*entry{genesis.ID(): g},
+		head:     g,
+		canon:    []*entry{g},
+		txIndex:  make(map[types.Hash]txLoc),
+		detIndex: make(map[types.Hash][]DetectionRecord),
 	}
 	return c, nil
 }
@@ -168,10 +173,12 @@ func (c *Chain) TotalDifficulty() uint64 {
 	return c.head.totalDif
 }
 
-// State returns a copy of the state at the canonical head.
+// State returns a copy-on-write copy of the state at the canonical head.
+// Copy disowns the source's account records (a cheap epoch bump plus a
+// pointer-map clone), so it needs the exclusive lock.
 func (c *Chain) State() *state.DB {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.head.post.Copy()
 }
 
@@ -346,7 +353,8 @@ func (c *Chain) verifyShape(blk *types.Block) error {
 }
 
 // setHead switches the canonical chain to the branch ending at e and
-// rebuilds the transaction index across the changed suffix.
+// rebuilds the transaction and detection indexes across the changed
+// suffix.
 func (c *Chain) setHead(e *entry) {
 	// Build the new canonical path back to a block already canonical.
 	var path []*entry
@@ -361,10 +369,27 @@ func (c *Chain) setHead(e *entry) {
 	}
 	forkPoint := cursor.block.Header.Number
 
-	// Remove receipts of the abandoned suffix.
+	// Remove receipts and detection records of the abandoned suffix.
+	// Detection records per SRA are in ascending block order, so the
+	// abandoned ones form the tail of each affected slice.
+	dropped := make(map[types.Hash]struct{})
 	for i := forkPoint + 1; i < uint64(len(c.canon)); i++ {
 		for _, tx := range c.canon[i].block.Txs {
 			delete(c.txIndex, tx.Hash())
+			if sraID, ok := reportSRAID(tx); ok {
+				dropped[sraID] = struct{}{}
+			}
+		}
+	}
+	for sraID := range dropped {
+		recs := c.detIndex[sraID]
+		for len(recs) > 0 && recs[len(recs)-1].BlockNumber > forkPoint {
+			recs = recs[:len(recs)-1]
+		}
+		if len(recs) == 0 {
+			delete(c.detIndex, sraID)
+		} else {
+			c.detIndex[sraID] = recs
 		}
 	}
 	c.canon = c.canon[:forkPoint+1]
@@ -379,9 +404,31 @@ func (c *Chain) setHead(e *entry) {
 				number:  en.block.Header.Number,
 				receipt: en.receipts[j],
 			}
+			if sraID, ok := reportSRAID(tx); ok {
+				c.detIndex[sraID] = append(c.detIndex[sraID], DetectionRecord{
+					BlockNumber: en.block.Header.Number,
+					Tx:          tx,
+					Receipt:     en.receipts[j],
+				})
+			}
 		}
 	}
 	c.head = e
+}
+
+// reportSRAID extracts the SRA a detection-report transaction refers to.
+func reportSRAID(tx *types.Transaction) (types.Hash, bool) {
+	switch tx.Kind {
+	case types.TxInitialReport:
+		if r, err := tx.InitialReport(); err == nil {
+			return r.SRAID, true
+		}
+	case types.TxDetailedReport:
+		if r, err := tx.DetailedReport(); err == nil {
+			return r.SRAID, true
+		}
+	}
+	return types.Hash{}, false
 }
 
 // ReceiptOf returns the canonical receipt of a transaction.
@@ -432,26 +479,30 @@ type DetectionRecord struct {
 	Receipt     *Receipt
 }
 
-// DetectionResults walks the canonical chain and returns every detection
-// report recorded for the given SRA, in chain order.
+// DetectionResults returns every detection report recorded for the given
+// SRA on the canonical chain, in chain order. The records come from the
+// incrementally maintained index — a map lookup plus a defensive copy —
+// rather than a scan and re-decode of the whole chain.
 func (c *Chain) DetectionResults(sraID types.Hash) []DetectionRecord {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	recs := c.detIndex[sraID]
+	if len(recs) == 0 {
+		return nil
+	}
+	return append([]DetectionRecord(nil), recs...)
+}
+
+// DetectionResultsScan is the pre-index linear scan over the canonical
+// chain. It is kept as the reference oracle for the index: consistency
+// tests and benchmarks compare DetectionResults against it.
+func (c *Chain) DetectionResultsScan(sraID types.Hash) []DetectionRecord {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	var out []DetectionRecord
 	for _, e := range c.canon {
 		for j, tx := range e.block.Txs {
-			var match bool
-			switch tx.Kind {
-			case types.TxInitialReport:
-				if r, err := tx.InitialReport(); err == nil && r.SRAID == sraID {
-					match = true
-				}
-			case types.TxDetailedReport:
-				if r, err := tx.DetailedReport(); err == nil && r.SRAID == sraID {
-					match = true
-				}
-			}
-			if match {
+			if id, ok := reportSRAID(tx); ok && id == sraID {
 				out = append(out, DetectionRecord{
 					BlockNumber: e.block.Header.Number,
 					Tx:          tx,
@@ -467,17 +518,29 @@ func (c *Chain) DetectionResults(sraID types.Hash) []DetectionRecord {
 // unsealed block with correct roots, ready for a sealer to find the nonce.
 // Invalid transactions cause an error; miners filter their pool first.
 func (c *Chain) BuildBlock(parentID types.Hash, miner types.Address, timestamp, difficulty uint64, txs []*types.Transaction) (*types.Block, error) {
-	c.mu.RLock()
+	// Resolve the parent state under the write lock: the parent's post
+	// may have been pruned under StateHistory and need re-execution, and
+	// Copy disowns the source's records. Execution below runs unlocked on
+	// the copy.
+	c.mu.Lock()
 	parent, ok := c.entries[parentID]
-	c.mu.RUnlock()
 	if !ok {
+		c.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrUnknownParent, parentID.Short())
 	}
-	st := parent.post.Copy()
+	parentState, err := c.stateOfLocked(parent)
+	if err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	st := parentState.Copy()
+	number := parent.block.Header.Number + 1
+	c.mu.Unlock()
+
 	blk := &types.Block{
 		Header: types.Header{
 			ParentID:   parentID,
-			Number:     parent.block.Header.Number + 1,
+			Number:     number,
 			Time:       timestamp,
 			Difficulty: difficulty,
 			Miner:      miner,

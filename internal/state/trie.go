@@ -1,0 +1,166 @@
+package state
+
+import (
+	"math/bits"
+
+	"github.com/smartcrowd/smartcrowd/internal/crypto/keccak"
+	"github.com/smartcrowd/smartcrowd/internal/types"
+)
+
+// The state commitment is a crit-bit (compressed binary radix) trie over
+// account addresses, with one leaf per non-empty account carrying that
+// account's digest. Nodes are immutable: every update path-copies the
+// O(depth) nodes from the changed leaf to the root and rehashes only
+// those, so recomputing the root after touching k of n accounts costs
+// O(k log n) hashes instead of a full rehash. Immutability also makes
+// sharing safe — DB.Copy hands the same root pointer to the copy, and the
+// two tries diverge structurally from there.
+//
+// The trie shape is a pure function of the key set (crit-bit tries are
+// insertion-order independent), which is what lets a from-scratch
+// reference build (see the property tests) reproduce the incrementally
+// maintained root bit-for-bit.
+
+// Domain-separation tags for node hashing.
+const (
+	trieTagLeaf   = 0x00
+	trieTagBranch = 0x01
+	trieTagEmpty  = 0x02
+)
+
+// emptyStateRoot commits to the state with no non-empty accounts.
+var emptyStateRoot = types.HashBytes([]byte{trieTagEmpty})
+
+// trieNode is one immutable node. Leaves have bit == -1 and carry
+// addr/digest; branches carry the index of the first bit on which their
+// two subtrees disagree (left = 0, right = 1).
+type trieNode struct {
+	bit         int16
+	left, right *trieNode
+	addr        types.Address
+	digest      types.Hash
+	hash        types.Hash
+}
+
+// addrBit returns bit i of a, counting from the most significant bit of
+// a[0] — the same order in which addresses compare lexicographically.
+func addrBit(a types.Address, i int) int {
+	return int(a[i>>3]>>(7-uint(i&7))) & 1
+}
+
+// firstDiffBit returns the index of the first bit on which a and b
+// differ; a and b must not be equal.
+func firstDiffBit(a, b types.Address) int {
+	for i := range a {
+		if x := a[i] ^ b[i]; x != 0 {
+			return i*8 + bits.LeadingZeros8(x)
+		}
+	}
+	panic("state: firstDiffBit on equal addresses")
+}
+
+func newLeaf(addr types.Address, digest types.Hash) *trieNode {
+	h := keccak.New256()
+	_, _ = h.Write([]byte{trieTagLeaf})
+	_, _ = h.Write(addr[:])
+	_, _ = h.Write(digest[:])
+	n := &trieNode{bit: -1, addr: addr, digest: digest}
+	copy(n.hash[:], h.Sum(nil))
+	return n
+}
+
+func newBranch(bit int16, left, right *trieNode) *trieNode {
+	h := keccak.New256()
+	_, _ = h.Write([]byte{trieTagBranch, byte(bit >> 8), byte(bit)})
+	_, _ = h.Write(left.hash[:])
+	_, _ = h.Write(right.hash[:])
+	n := &trieNode{bit: bit, left: left, right: right}
+	copy(n.hash[:], h.Sum(nil))
+	return n
+}
+
+// trieUpsert returns the trie with addr bound to digest. The original is
+// untouched; unchanged subtrees are shared. An update that does not
+// change the leaf digest returns the original root pointer.
+func trieUpsert(n *trieNode, addr types.Address, digest types.Hash) *trieNode {
+	if n == nil {
+		return newLeaf(addr, digest)
+	}
+	// Walk to the candidate leaf along addr's own bit path; crit-bit
+	// structure guarantees it is the only leaf addr can collide with.
+	cand := n
+	for cand.bit >= 0 {
+		if addrBit(addr, int(cand.bit)) == 0 {
+			cand = cand.left
+		} else {
+			cand = cand.right
+		}
+	}
+	if cand.addr == addr {
+		if cand.digest == digest {
+			return n
+		}
+		return trieReplace(n, addr, digest)
+	}
+	return trieSplit(n, addr, digest, int16(firstDiffBit(addr, cand.addr)))
+}
+
+// trieReplace rewrites the existing leaf for addr, path-copying down.
+func trieReplace(n *trieNode, addr types.Address, digest types.Hash) *trieNode {
+	if n.bit < 0 {
+		return newLeaf(addr, digest)
+	}
+	if addrBit(addr, int(n.bit)) == 0 {
+		return newBranch(n.bit, trieReplace(n.left, addr, digest), n.right)
+	}
+	return newBranch(n.bit, n.left, trieReplace(n.right, addr, digest))
+}
+
+// trieSplit inserts a new leaf whose first divergence from the existing
+// keys on its path is at bit d: the new branch lands above the first node
+// that branches at or past d.
+func trieSplit(n *trieNode, addr types.Address, digest types.Hash, d int16) *trieNode {
+	if n.bit < 0 || n.bit > d {
+		leaf := newLeaf(addr, digest)
+		if addrBit(addr, int(d)) == 0 {
+			return newBranch(d, leaf, n)
+		}
+		return newBranch(d, n, leaf)
+	}
+	if addrBit(addr, int(n.bit)) == 0 {
+		return newBranch(n.bit, trieSplit(n.left, addr, digest, d), n.right)
+	}
+	return newBranch(n.bit, n.left, trieSplit(n.right, addr, digest, d))
+}
+
+// trieDelete returns the trie without addr; deleting an absent key
+// returns the original root pointer.
+func trieDelete(n *trieNode, addr types.Address) *trieNode {
+	if n == nil {
+		return nil
+	}
+	if n.bit < 0 {
+		if n.addr == addr {
+			return nil
+		}
+		return n
+	}
+	if addrBit(addr, int(n.bit)) == 0 {
+		child := trieDelete(n.left, addr)
+		switch {
+		case child == n.left:
+			return n
+		case child == nil:
+			return n.right // branch collapses onto its sibling
+		}
+		return newBranch(n.bit, child, n.right)
+	}
+	child := trieDelete(n.right, addr)
+	switch {
+	case child == n.right:
+		return n
+	case child == nil:
+		return n.left
+	}
+	return newBranch(n.bit, n.left, child)
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sync/atomic"
 
 	"github.com/smartcrowd/smartcrowd/internal/crypto/merkle"
 	"github.com/smartcrowd/smartcrowd/internal/crypto/secp256k1"
@@ -80,6 +81,18 @@ func (h *Header) MeetsPoW() bool {
 type Block struct {
 	Header Header
 	Txs    []*Transaction
+
+	// idCache memoizes the header hash, guarded by a copy of the header
+	// it was computed from: fork choice, indexing and PoW verification
+	// all re-request the ID of sealed (immutable) blocks, while a miner
+	// grinding Nonce on a header it owns still gets fresh hashes.
+	idCache atomic.Pointer[blockIDEntry]
+}
+
+// blockIDEntry pins a memoized block ID to the exact header contents.
+type blockIDEntry struct {
+	hdr Header
+	id  Hash
 }
 
 // Block validation errors.
@@ -89,8 +102,16 @@ var (
 	ErrBlockNoTime    = errors.New("types: block timestamp is zero")
 )
 
-// ID returns the block's identifier (its header hash).
-func (b *Block) ID() Hash { return b.Header.ID() }
+// ID returns the block's identifier (its header hash), memoized against
+// the current header value.
+func (b *Block) ID() Hash {
+	if e := b.idCache.Load(); e != nil && e.hdr == b.Header {
+		return e.id
+	}
+	id := b.Header.ID()
+	b.idCache.Store(&blockIDEntry{hdr: b.Header, id: id})
+	return id
+}
 
 // ComputeTxRoot builds the Merkle root over the block's transactions.
 func ComputeTxRoot(txs []*Transaction) Hash {

@@ -1,0 +1,114 @@
+package types
+
+import (
+	"testing"
+
+	"github.com/smartcrowd/smartcrowd/internal/wallet"
+)
+
+// memoTx builds a signed transfer for the memoization tests.
+func memoTx(t *testing.T) *Transaction {
+	t.Helper()
+	w := wallet.NewDeterministic("memo")
+	tx := &Transaction{
+		Kind:     TxTransfer,
+		Nonce:    7,
+		To:       Address{0xAA},
+		Value:    1234,
+		GasLimit: 21_000,
+		GasPrice: 50,
+		Data:     []byte{1, 2, 3},
+	}
+	if err := SignTx(tx, w); err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+func TestTxHashMemoStableAndInvalidatedByMutation(t *testing.T) {
+	tx := memoTx(t)
+	h1 := tx.Hash()
+	if tx.Hash() != h1 {
+		t.Fatal("repeated Hash() differs on unchanged tx")
+	}
+
+	// Every hashed field must invalidate the memo when mutated — and
+	// restore the original digest when mutated back.
+	mutations := []struct {
+		name         string
+		mutate, undo func()
+	}{
+		{"nonce", func() { tx.Nonce++ }, func() { tx.Nonce-- }},
+		{"to", func() { tx.To[0] ^= 0xFF }, func() { tx.To[0] ^= 0xFF }},
+		{"value", func() { tx.Value++ }, func() { tx.Value-- }},
+		{"gasLimit", func() { tx.GasLimit++ }, func() { tx.GasLimit-- }},
+		{"gasPrice", func() { tx.GasPrice++ }, func() { tx.GasPrice-- }},
+		{"data in place", func() { tx.Data[0] ^= 0xFF }, func() { tx.Data[0] ^= 0xFF }},
+		{"data reslice", func() { tx.Data = append(tx.Data, 9) }, func() { tx.Data = tx.Data[:3] }},
+	}
+	for _, m := range mutations {
+		m.mutate()
+		if tx.Hash() == h1 {
+			t.Errorf("%s: Hash() served stale memo after mutation", m.name)
+		}
+		m.undo()
+		if tx.Hash() != h1 {
+			t.Errorf("%s: Hash() did not recover original digest after undo", m.name)
+		}
+	}
+}
+
+func TestTxSigHashMemoCoversDataButNotSignature(t *testing.T) {
+	tx := memoTx(t)
+	s1 := tx.SigHash()
+	h1 := tx.Hash()
+
+	// Re-signing changes Hash (signature is hashed) but not SigHash.
+	if err := SignTx(tx, wallet.NewDeterministic("other")); err != nil {
+		t.Fatal(err)
+	}
+	if tx.SigHash() == s1 {
+		t.Error("SigHash unchanged although From changed with the new signer")
+	}
+	if tx.Hash() == h1 {
+		t.Error("Hash unchanged after re-signing")
+	}
+
+	// Same content signed by the original key must reproduce both digests.
+	if err := SignTx(tx, wallet.NewDeterministic("memo")); err != nil {
+		t.Fatal(err)
+	}
+	if tx.SigHash() != s1 || tx.Hash() != h1 {
+		t.Error("digests not restored after re-signing with the original key")
+	}
+
+	// In-place Data tampering flips SigHash too.
+	tx.Data[1] ^= 0xFF
+	if tx.SigHash() == s1 {
+		t.Error("SigHash served stale memo after Data tampering")
+	}
+}
+
+func TestBlockIDMemoFollowsHeaderMutation(t *testing.T) {
+	blk := &Block{Header: Header{Number: 3, Time: 99, Difficulty: 1000}}
+	id1 := blk.ID()
+	if id1 != blk.Header.ID() {
+		t.Fatal("memoized block ID differs from header hash")
+	}
+	if blk.ID() != id1 {
+		t.Fatal("repeated ID() differs on unchanged header")
+	}
+
+	// A sealer grinding the nonce mutates the header in place: the memo
+	// must never serve the pre-mutation hash.
+	for nonce := uint64(1); nonce <= 5; nonce++ {
+		blk.Header.Nonce = nonce
+		if got, want := blk.ID(), blk.Header.ID(); got != want {
+			t.Fatalf("nonce %d: memoized ID %s, header hash %s", nonce, got.Short(), want.Short())
+		}
+	}
+	blk.Header.Nonce = 0
+	if blk.ID() != id1 {
+		t.Error("ID not restored after reverting the header")
+	}
+}

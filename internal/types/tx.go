@@ -1,6 +1,7 @@
 package types
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -81,6 +82,12 @@ type Transaction struct {
 	// senderCache memoizes signature recovery keyed by the signing hash,
 	// so validation layers do not repeat the expensive ECDSA recovery.
 	senderCache atomic.Pointer[senderEntry]
+	// sigHashCache / hashCache memoize SigHash and Hash. Both are guarded
+	// by a field-compare against the transaction's current content, so a
+	// mutated transaction (tamper tests, re-signing) falls back to a full
+	// recompute instead of serving a stale digest.
+	sigHashCache atomic.Pointer[txHashEntry]
+	hashCache    atomic.Pointer[txHashEntry]
 }
 
 // senderEntry is a cached recovery result for a given signing hash.
@@ -89,6 +96,48 @@ type senderEntry struct {
 	sig     [65]byte
 	addr    Address
 	err     error
+}
+
+// txMemoKey is the comparable scalar portion of a transaction; together
+// with a copy of Data (and, for Hash, the signature bytes) it uniquely
+// determines the memoized digests.
+type txMemoKey struct {
+	kind     TxKind
+	nonce    uint64
+	from, to Address
+	value    Amount
+	gasLimit uint64
+	gasPrice Amount
+}
+
+func (tx *Transaction) memoKey() txMemoKey {
+	return txMemoKey{
+		kind:     tx.Kind,
+		nonce:    tx.Nonce,
+		from:     tx.From,
+		to:       tx.To,
+		value:    tx.Value,
+		gasLimit: tx.GasLimit,
+		gasPrice: tx.GasPrice,
+	}
+}
+
+// txHashEntry is one memoized digest. data is a private copy so in-place
+// mutation of tx.Data is detected by the guard.
+type txHashEntry struct {
+	key  txMemoKey
+	data []byte
+	sig  [65]byte
+	hash Hash
+}
+
+// sigBytes returns the signature's serialized form, or zeroes when the
+// transaction is unsigned.
+func (tx *Transaction) sigBytes() (out [65]byte) {
+	if tx.Sig.R != nil && tx.Sig.S != nil {
+		copy(out[:], tx.Sig.Serialize())
+	}
+	return out
 }
 
 // Transaction errors.
@@ -101,8 +150,13 @@ var (
 )
 
 // SigHash computes the digest the sender signs: the Keccak-256 of the RLP
-// encoding of all fields except the signature.
+// encoding of all fields except the signature. The result is memoized;
+// repeated calls on an unchanged transaction cost a field compare.
 func (tx *Transaction) SigHash() Hash {
+	key := tx.memoKey()
+	if e := tx.sigHashCache.Load(); e != nil && e.key == key && bytes.Equal(e.data, tx.Data) {
+		return e.hash
+	}
 	enc := rlp.Encode(rlp.List(
 		rlp.Uint64(uint64(tx.Kind)),
 		rlp.Uint64(tx.Nonce),
@@ -113,12 +167,20 @@ func (tx *Transaction) SigHash() Hash {
 		rlp.Uint64(uint64(tx.GasPrice)),
 		rlp.Bytes(tx.Data),
 	))
-	return HashBytes(enc)
+	h := HashBytes(enc)
+	tx.sigHashCache.Store(&txHashEntry{key: key, data: append([]byte(nil), tx.Data...), hash: h})
+	return h
 }
 
 // Hash returns the transaction identifier: the Keccak-256 of the full RLP
-// encoding including the signature.
+// encoding including the signature. Memoized like SigHash; the guard also
+// covers the signature bytes.
 func (tx *Transaction) Hash() Hash {
+	key := tx.memoKey()
+	sig := tx.sigBytes()
+	if e := tx.hashCache.Load(); e != nil && e.key == key && e.sig == sig && bytes.Equal(e.data, tx.Data) {
+		return e.hash
+	}
 	enc := rlp.Encode(rlp.List(
 		rlp.Uint64(uint64(tx.Kind)),
 		rlp.Uint64(tx.Nonce),
@@ -130,7 +192,9 @@ func (tx *Transaction) Hash() Hash {
 		rlp.Bytes(tx.Data),
 		rlp.Bytes(tx.Sig.Serialize()),
 	))
-	return HashBytes(enc)
+	h := HashBytes(enc)
+	tx.hashCache.Store(&txHashEntry{key: key, data: append([]byte(nil), tx.Data...), sig: sig, hash: h})
+	return h
 }
 
 // SignTx signs the transaction with w and sets From.
