@@ -170,6 +170,7 @@ func All() []Experiment {
 		{ID: "abl-majority", Title: "Analysis: 51% attack success probability", Run: AblationMajority},
 		{ID: "abl-dct", Title: "Analysis: total detection capability vs crowd size", Run: AnalysisDCT},
 		{ID: "chaincore", Title: "Chain-core hot paths: insert throughput, state root, detection query", Run: ChainCore},
+		{ID: "syncpipeline", Title: "Sync pipeline: batched InsertChain vs serial re-verification", Run: SyncPipeline},
 	}
 }
 

@@ -3,7 +3,9 @@ package chain
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/smartcrowd/smartcrowd/internal/contract"
 	"github.com/smartcrowd/smartcrowd/internal/pow"
@@ -256,10 +258,137 @@ func (c *Chain) HasBlock(id types.Hash) bool {
 // InsertBlock validates, executes and stores a block, switching the head
 // when the new branch has greater total difficulty. It returns true when
 // the canonical head changed.
+//
+// It is the single-block face of the two-stage pipeline InsertChain runs:
+// stage 1 (sender recovery, payload validation, tx-root merkle, PoW
+// predicate) executes with no lock held, and only stage 2 — the
+// parent-contextual checks, execution and commit — runs under the chain
+// mutex. Single-block and batch import therefore cannot diverge.
 func (c *Chain) InsertBlock(blk *types.Block) (bool, error) {
+	// Fast duplicate path: skip the expensive stateless work for blocks
+	// already stored (gossip redelivery, orphan reprocessing).
+	if c.HasBlock(blk.ID()) {
+		return false, fmt.Errorf("%w: %s", ErrKnownBlock, blk.ID().Short())
+	}
+	if err := c.verifyStateless(blk); err != nil {
+		return false, err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.insertVerifiedLocked(blk)
+}
 
+// InsertChain imports a batch of blocks through the two-stage verification
+// pipeline: stage 1 verifies blocks' stateless properties (ECDSA sender
+// recovery via the shared prefetcher, payload decoding, tx-root merkle
+// recomputation, the PoW predicate) in parallel across all CPUs with no
+// lock held, while stage 2 serially executes and commits each block under
+// the chain mutex as soon as its verification lands — commit of block i
+// overlaps verification of blocks i+1…n.
+//
+// Blocks already known to the chain are benign no-ops. Processing stops at
+// the first invalid block; the returned count is the number of blocks
+// processed (inserted or already known) before the failure. The mutex is
+// taken per block, so concurrent readers and competing inserts interleave
+// exactly as they would with sequential InsertBlock calls.
+func (c *Chain) InsertChain(blocks []*types.Block) (int, error) {
+	if len(blocks) == 0 {
+		return 0, nil
+	}
+
+	// Stage 1: parallel stateless verification. Workers pull block indices
+	// from a shared cursor and publish results through per-block channels,
+	// so stage 2 consumes them in order without a global barrier.
+	errs := make([]error, len(blocks))
+	done := make([]chan struct{}, len(blocks))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(blocks) {
+		workers = len(blocks)
+	}
+	var cursor atomic.Int64
+	for w := 0; w < workers; w++ {
+		go func() {
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(blocks) {
+					return
+				}
+				errs[i] = c.verifyStatelessAt(blocks, i)
+				close(done[i])
+			}
+		}()
+	}
+
+	// Stage 2: serial execution/commit in batch order.
+	processed := 0
+	for i, blk := range blocks {
+		<-done[i]
+		if errs[i] != nil {
+			return processed, fmt.Errorf("chain: batch block %d (#%d): %w", i, blk.Header.Number, errs[i])
+		}
+		c.mu.Lock()
+		_, err := c.insertVerifiedLocked(blk)
+		c.mu.Unlock()
+		if err != nil && !errors.Is(err, ErrKnownBlock) {
+			return processed, fmt.Errorf("chain: batch block %d (#%d): %w", i, blk.Header.Number, err)
+		}
+		processed++
+	}
+	return processed, nil
+}
+
+// verifyStatelessAt runs stage-1 verification for blocks[i], adding the
+// in-batch header-link checks (number, timestamp, difficulty retarget)
+// when the predecessor in the batch is the block's parent — those need no
+// chain state, so failing fast here keeps bad batches from reaching the
+// serial stage.
+func (c *Chain) verifyStatelessAt(blocks []*types.Block, i int) error {
+	blk := blocks[i]
+	if i > 0 && blk.Header.ParentID == blocks[i-1].ID() {
+		if err := c.verifyHeaderLink(&blocks[i-1].Header, &blk.Header); err != nil {
+			return err
+		}
+	}
+	return c.verifyStateless(blk)
+}
+
+// verifyStateless runs every check that needs no chain context — sender
+// recovery (parallel, via the shared prefetcher), structural transaction
+// validation, tx-root merkle recomputation and the PoW predicate. It
+// holds no locks; the chain config is immutable after New.
+func (c *Chain) verifyStateless(blk *types.Block) error {
+	types.RecoverSenders(blk.Txs)
+	return c.verifyShape(blk)
+}
+
+// verifyHeaderLink enforces the parent-contextual header rules: height,
+// strictly increasing timestamp, and the difficulty retarget when the
+// chain makes difficulty a consensus rule.
+func (c *Chain) verifyHeaderLink(parent, child *types.Header) error {
+	if child.Number != parent.Number+1 {
+		return fmt.Errorf("%w: parent %d, block %d", ErrBadNumber, parent.Number, child.Number)
+	}
+	if child.Time <= parent.Time {
+		return fmt.Errorf("%w: parent %d, block %d", ErrBadTimestamp, parent.Time, child.Time)
+	}
+	if c.cfg.EnforceDifficulty {
+		want := c.cfg.ExpectedDifficulty(parent, child.Time)
+		if child.Difficulty != want {
+			return fmt.Errorf("%w: declared %d, retarget rule requires %d",
+				ErrBadDifficulty, child.Difficulty, want)
+		}
+	}
+	return nil
+}
+
+// insertVerifiedLocked runs stage 2 for a block whose stateless checks
+// already passed: parent lookup, header-link rules, execution against the
+// parent state, state-root comparison and fork choice. Callers hold the
+// write lock.
+func (c *Chain) insertVerifiedLocked(blk *types.Block) (bool, error) {
 	id := blk.ID()
 	if _, known := c.entries[id]; known {
 		return false, fmt.Errorf("%w: %s", ErrKnownBlock, id.Short())
@@ -268,22 +397,7 @@ func (c *Chain) InsertBlock(blk *types.Block) (bool, error) {
 	if !ok {
 		return false, fmt.Errorf("%w: %s", ErrUnknownParent, blk.Header.ParentID.Short())
 	}
-	if blk.Header.Number != parent.block.Header.Number+1 {
-		return false, fmt.Errorf("%w: parent %d, block %d", ErrBadNumber,
-			parent.block.Header.Number, blk.Header.Number)
-	}
-	if blk.Header.Time <= parent.block.Header.Time {
-		return false, fmt.Errorf("%w: parent %d, block %d", ErrBadTimestamp,
-			parent.block.Header.Time, blk.Header.Time)
-	}
-	if c.cfg.EnforceDifficulty {
-		want := c.cfg.ExpectedDifficulty(&parent.block.Header, blk.Header.Time)
-		if blk.Header.Difficulty != want {
-			return false, fmt.Errorf("%w: declared %d, retarget rule requires %d",
-				ErrBadDifficulty, blk.Header.Difficulty, want)
-		}
-	}
-	if err := c.verifyShape(blk); err != nil {
+	if err := c.verifyHeaderLink(&parent.block.Header, &blk.Header); err != nil {
 		return false, err
 	}
 

@@ -11,6 +11,7 @@ package keccak
 import (
 	"encoding/binary"
 	"hash"
+	"sync"
 )
 
 // Size is the digest size in bytes for both Keccak-256 and SHA3-256.
@@ -152,21 +153,71 @@ func (d *digest) Sum(b []byte) []byte {
 	return append(b, out[:]...)
 }
 
+// digestPool recycles sponge states across one-shot and streaming
+// hashes. A digest is ~350 bytes of state; the verification pipeline
+// hashes millions of transactions, headers, merkle nodes and trie paths,
+// and pooling removes both the per-hash allocation and the full state
+// copy hash.Hash's non-destructive Sum forces.
+var digestPool = sync.Pool{New: func() interface{} { return new(digest) }}
+
+func getDigest(domain byte) *digest {
+	d := digestPool.Get().(*digest)
+	d.Reset()
+	d.domain = domain
+	return d
+}
+
+// finalizeInto pads, permutes and squeezes the digest into out. It is
+// destructive (the sponge state is consumed) — exactly what one-shot
+// hashing wants, since it skips the defensive state copy of Sum.
+func (d *digest) finalizeInto(out *[Size]byte) {
+	d.buf[d.n] = d.domain
+	for i := d.n + 1; i < rate256; i++ {
+		d.buf[i] = 0
+	}
+	d.buf[rate256-1] |= 0x80
+	for i := 0; i < rate256/8; i++ {
+		d.state[i] ^= binary.LittleEndian.Uint64(d.buf[8*i:])
+	}
+	permute(&d.state)
+	for i := 0; i < Size/8; i++ {
+		binary.LittleEndian.PutUint64(out[8*i:], d.state[i])
+	}
+}
+
+// Get256 returns a reset streaming legacy Keccak-256 hasher from the
+// package pool. Pair with Put to recycle it; hot paths that hash many
+// small items (trie nodes, account digests) avoid a fresh sponge
+// allocation per item.
+func Get256() hash.Hash {
+	return getDigest(domainKeccak)
+}
+
+// Put returns a hasher obtained from Get256 to the pool. The hasher must
+// not be used afterwards. Hashers from other sources are ignored.
+func Put(h hash.Hash) {
+	if d, ok := h.(*digest); ok {
+		digestPool.Put(d)
+	}
+}
+
 // Sum256 computes the legacy Keccak-256 digest of data in one shot.
 func Sum256(data []byte) [Size]byte {
 	var out [Size]byte
-	d := digest{domain: domainKeccak}
+	d := getDigest(domainKeccak)
 	_, _ = d.Write(data)
-	copy(out[:], d.Sum(nil))
+	d.finalizeInto(&out)
+	digestPool.Put(d)
 	return out
 }
 
 // SumSHA3256 computes the FIPS-202 SHA3-256 digest of data in one shot.
 func SumSHA3256(data []byte) [Size]byte {
 	var out [Size]byte
-	d := digest{domain: domainSHA3}
+	d := getDigest(domainSHA3)
 	_, _ = d.Write(data)
-	copy(out[:], d.Sum(nil))
+	d.finalizeInto(&out)
+	digestPool.Put(d)
 	return out
 }
 
@@ -175,11 +226,12 @@ func SumSHA3256(data []byte) [Size]byte {
 // are hashes over field concatenations; this helper avoids intermediate
 // allocation at the call sites.
 func Sum256Concat(parts ...[]byte) [Size]byte {
-	d := digest{domain: domainKeccak}
+	d := getDigest(domainKeccak)
 	for _, p := range parts {
 		_, _ = d.Write(p)
 	}
 	var out [Size]byte
-	copy(out[:], d.Sum(nil))
+	d.finalizeInto(&out)
+	digestPool.Put(d)
 	return out
 }

@@ -3,6 +3,7 @@ package keccak
 import (
 	"bytes"
 	"encoding/hex"
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -150,3 +151,59 @@ func BenchmarkKeccak256_1KiB(b *testing.B) {
 		Sum256(data)
 	}
 }
+
+func TestPooledGetPutRoundTrip(t *testing.T) {
+	msg := []byte("pooled digest round trip")
+	want := Sum256(msg)
+	// Repeated Get/Put cycles must keep producing correct digests even as
+	// the same pooled state objects are reused (Reset must fully scrub).
+	for i := 0; i < 10; i++ {
+		h := Get256()
+		h.Write(msg)
+		var got [Size]byte
+		h.Sum(got[:0])
+		Put(h)
+		if got != want {
+			t.Fatalf("cycle %d: pooled digest mismatch", i)
+		}
+		// Interleave a different message so a dirty reused state would skew.
+		h2 := Get256()
+		h2.Write([]byte{byte(i)})
+		h2.Sum(nil)
+		Put(h2)
+	}
+}
+
+func TestPooledOneShotConcurrent(t *testing.T) {
+	// Hammer the pooled one-shot paths from many goroutines; under -race
+	// this pins that pooled states are never shared while in use.
+	msgs := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc"), make([]byte, 200)}
+	wants := make([][Size]byte, len(msgs))
+	for i, m := range msgs {
+		wants[i] = Sum256(m)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 200; i++ {
+				k := (g + i) % len(msgs)
+				if Sum256(msgs[k]) != wants[k] {
+					done <- errAt(g, i)
+					return
+				}
+				if Sum256Concat(msgs[k][:len(msgs[k])/2], msgs[k][len(msgs[k])/2:]) != wants[k] {
+					done <- errAt(g, i)
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func errAt(g, i int) error { return fmt.Errorf("goroutine %d iter %d: digest mismatch", g, i) }

@@ -513,7 +513,13 @@ func (r *runner) mine(ev pow.SealEvent) {
 		}
 	}
 
-	// Phase II: queue reveals whose commitments are now confirmed.
+	// Phase II: queue reveals whose commitments are now confirmed. The
+	// whole due batch is built and signed first so the sender prefetcher
+	// can warm the ECDSA caches across all CPUs; admission then runs
+	// per transaction with the same ordering and failure semantics as
+	// sequential adds (a failed add releases its nonce).
+	var dueReveals []*reveal
+	var dueTxs []*types.Transaction
 	for _, pr := range r.pendingReveals {
 		if pr.done {
 			continue
@@ -527,8 +533,13 @@ func (r *runner) mine(ev pow.SealEvent) {
 		if err := types.SignTx(dtx, w); err != nil {
 			panic("sim: sign R* tx: " + err.Error())
 		}
-		if err := r.pool.Add(dtx, r.chain.State()); err != nil {
-			r.nonces[w.Address()]--
+		dueReveals = append(dueReveals, pr)
+		dueTxs = append(dueTxs, dtx)
+	}
+	types.RecoverSenders(dueTxs)
+	for i, pr := range dueReveals {
+		if err := r.pool.Add(dueTxs[i], r.chain.State()); err != nil {
+			r.nonces[r.detectorWallets[pr.detector].Address()]--
 			pr.done = true // out of funds; abandon
 			continue
 		}

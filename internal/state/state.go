@@ -374,7 +374,8 @@ func lessAddr(a, b types.Address) bool {
 // hash and the sorted storage slots — the per-account serialization the
 // commitment trie stores at its leaves.
 func accountDigest(addr types.Address, acc *Account) types.Hash {
-	h := keccak.New256()
+	h := keccak.Get256()
+	defer keccak.Put(h)
 	var u64 [8]byte
 	writeU64 := func(v uint64) {
 		for i := 0; i < 8; i++ {

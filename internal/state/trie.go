@@ -60,22 +60,15 @@ func firstDiffBit(a, b types.Address) int {
 }
 
 func newLeaf(addr types.Address, digest types.Hash) *trieNode {
-	h := keccak.New256()
-	_, _ = h.Write([]byte{trieTagLeaf})
-	_, _ = h.Write(addr[:])
-	_, _ = h.Write(digest[:])
 	n := &trieNode{bit: -1, addr: addr, digest: digest}
-	copy(n.hash[:], h.Sum(nil))
+	n.hash = types.Hash(keccak.Sum256Concat([]byte{trieTagLeaf}, addr[:], digest[:]))
 	return n
 }
 
 func newBranch(bit int16, left, right *trieNode) *trieNode {
-	h := keccak.New256()
-	_, _ = h.Write([]byte{trieTagBranch, byte(bit >> 8), byte(bit)})
-	_, _ = h.Write(left.hash[:])
-	_, _ = h.Write(right.hash[:])
 	n := &trieNode{bit: bit, left: left, right: right}
-	copy(n.hash[:], h.Sum(nil))
+	n.hash = types.Hash(keccak.Sum256Concat(
+		[]byte{trieTagBranch, byte(bit >> 8), byte(bit)}, left.hash[:], right.hash[:]))
 	return n
 }
 

@@ -67,17 +67,58 @@ func New(cfg Config) *Pool {
 }
 
 // Add admits a transaction after stateless validation and solvency checks
-// against the supplied state view.
+// against the supplied state view. The expensive stateless work — ECDSA
+// sender recovery inside ValidateBasic, the transaction hash — runs before
+// the pool mutex is taken, so concurrent submitters never serialize on
+// signature recovery.
 func (p *Pool) Add(tx *types.Transaction, st StateReader) error {
 	if err := tx.ValidateBasic(); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalidTx, err)
 	}
-	sender := tx.From
+	hash := tx.Hash()
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.admitLocked(tx, hash, st)
+}
 
-	if _, known := p.byHash[tx.Hash()]; known {
+// AddAll admits a batch of transactions. Sender recovery is warmed in
+// parallel across the shared prefetcher pool and all stateless validation
+// happens before the lock, so the critical section is pure map work. The
+// result has one entry per transaction (nil = admitted), letting callers
+// relay exactly the admitted subset; order of admission matches slice
+// order, so the batch behaves like sequential Add calls.
+func (p *Pool) AddAll(txs []*types.Transaction, st StateReader) []error {
+	errs := make([]error, len(txs))
+	if len(txs) == 0 {
+		return errs
+	}
+	types.RecoverSenders(txs)
+	hashes := make([]types.Hash, len(txs))
+	for i, tx := range txs {
+		if err := tx.ValidateBasic(); err != nil {
+			errs[i] = fmt.Errorf("%w: %v", ErrInvalidTx, err)
+			continue
+		}
+		hashes[i] = tx.Hash()
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, tx := range txs {
+		if errs[i] != nil {
+			continue
+		}
+		errs[i] = p.admitLocked(tx, hashes[i], st)
+	}
+	return errs
+}
+
+// admitLocked performs the stateful admission checks and inserts the
+// (already validated) transaction. Callers hold the lock.
+func (p *Pool) admitLocked(tx *types.Transaction, hash types.Hash, st StateReader) error {
+	sender := tx.From
+	if _, known := p.byHash[hash]; known {
 		return ErrKnownTx
 	}
 	if st != nil {
@@ -106,9 +147,9 @@ func (p *Pool) Add(tx *types.Transaction, st StateReader) error {
 		p.perSender[sender] = bucket
 	}
 	bucket[tx.Nonce] = tx
-	p.byHash[tx.Hash()] = tx
+	p.byHash[hash] = tx
 	p.seq++
-	p.arrival[tx.Hash()] = p.seq
+	p.arrival[hash] = p.seq
 	return nil
 }
 

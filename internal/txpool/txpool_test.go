@@ -254,3 +254,72 @@ func TestPendingDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestAddAllBatchAdmission(t *testing.T) {
+	p := New(Config{})
+	st := newFakeState()
+	alice := wallet.NewDeterministic("alice")
+	bob := wallet.NewDeterministic("bob")
+
+	txs := []*types.Transaction{
+		signedTx(t, alice, 0, 50),
+		signedTx(t, alice, 1, 50),
+		signedTx(t, bob, 0, 60),
+	}
+	for i, err := range p.AddAll(txs, st) {
+		if err != nil {
+			t.Fatalf("tx %d: %v", i, err)
+		}
+	}
+	if p.Len() != 3 {
+		t.Fatalf("pool holds %d txs, want 3", p.Len())
+	}
+	// Batch admission must be indistinguishable from sequential Add calls:
+	// Pending ordering (price desc, arrival tie-break) matches slice order.
+	got := p.Pending(st, 10)
+	if len(got) != 3 || got[0].Hash() != txs[2].Hash() ||
+		got[1].Hash() != txs[0].Hash() || got[2].Hash() != txs[1].Hash() {
+		t.Error("Pending order does not match sequential-Add semantics")
+	}
+}
+
+func TestAddAllReportsPerTxErrors(t *testing.T) {
+	p := New(Config{})
+	st := newFakeState()
+	alice := wallet.NewDeterministic("alice")
+	bob := wallet.NewDeterministic("bob")
+
+	dup := signedTx(t, alice, 0, 50)
+	if err := p.Add(dup, st); err != nil {
+		t.Fatal(err)
+	}
+	bad := signedTx(t, bob, 1, 50)
+	bad.Value = 999 // breaks the signature
+
+	txs := []*types.Transaction{
+		dup,                       // 0: already pooled
+		bad,                       // 1: invalid signature
+		signedTx(t, bob, 0, 50),   // 2: fine
+		signedTx(t, alice, 1, 50), // 3: fine
+	}
+	errs := p.AddAll(txs, st)
+	if !errors.Is(errs[0], ErrKnownTx) {
+		t.Errorf("errs[0] = %v, want ErrKnownTx", errs[0])
+	}
+	if !errors.Is(errs[1], ErrInvalidTx) {
+		t.Errorf("errs[1] = %v, want ErrInvalidTx", errs[1])
+	}
+	if errs[2] != nil || errs[3] != nil {
+		t.Errorf("valid txs rejected: %v, %v", errs[2], errs[3])
+	}
+	if p.Len() != 3 {
+		t.Fatalf("pool holds %d txs, want 3", p.Len())
+	}
+}
+
+func TestAddAllEmpty(t *testing.T) {
+	p := New(Config{})
+	if errs := p.AddAll(nil, newFakeState()); len(errs) != 0 {
+		t.Fatalf("nil batch returned %d errors", len(errs))
+	}
+}

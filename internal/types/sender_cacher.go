@@ -1,0 +1,114 @@
+package types
+
+import (
+	"runtime"
+	"sync"
+)
+
+// senderCacher is the shared worker pool that warms Transaction sender
+// caches (geth's senderCacher pattern): ECDSA recovery costs milliseconds
+// in pure Go, dominates block verification, and is embarrassingly
+// parallel, so every validation layer — chain insert, txpool admission,
+// the simulator — hands whole transaction slices to this pool instead of
+// recovering senders one by one on a single core.
+//
+// The pool is striped, not chunked: a slice of n transactions is split
+// into min(threads, n) subtasks where subtask i handles txs[i], txs[i+k],
+// txs[i+2k], … — no intermediate slice allocation, and the work stays
+// balanced even when expensive transactions cluster.
+var senderCacher = newTxSenderCacher(runtime.NumCPU())
+
+// senderTask is one stripe of a recovery request.
+type senderTask struct {
+	txs  []*Transaction
+	off  int             // first index of the stripe
+	step int             // stripe stride
+	wg   *sync.WaitGroup // nil for fire-and-forget prefetches
+}
+
+// txSenderCacher owns the worker goroutines and their task queue.
+type txSenderCacher struct {
+	threads int
+	tasks   chan senderTask
+}
+
+func newTxSenderCacher(threads int) *txSenderCacher {
+	if threads < 1 {
+		threads = 1
+	}
+	c := &txSenderCacher{
+		threads: threads,
+		tasks:   make(chan senderTask, threads*8),
+	}
+	for i := 0; i < threads; i++ {
+		go c.loop()
+	}
+	return c
+}
+
+// loop drains tasks forever. Workers only compute — they never send on
+// the task channel — so blocking producers always make progress.
+func (c *txSenderCacher) loop() {
+	for t := range c.tasks {
+		for i := t.off; i < len(t.txs); i += t.step {
+			_, _ = t.txs[i].Sender()
+		}
+		if t.wg != nil {
+			t.wg.Done()
+		}
+	}
+}
+
+// runStripe executes one stripe inline (used for tiny slices and as the
+// overflow path of best-effort prefetches).
+func runStripe(txs []*Transaction, off, step int) {
+	for i := off; i < len(txs); i += step {
+		_, _ = txs[i].Sender()
+	}
+}
+
+// RecoverSenders warms the sender cache of every transaction in txs
+// across the shared worker pool and returns once all are warm. Recovery
+// failures are memoized like successes — the eventual ValidateBasic (or
+// Sender) call surfaces them — so RecoverSenders itself never fails and
+// is safe to call on unvalidated gossip.
+func RecoverSenders(txs []*Transaction) {
+	if len(txs) == 0 {
+		return
+	}
+	if len(txs) == 1 || senderCacher.threads == 1 {
+		runStripe(txs, 0, 1)
+		return
+	}
+	stripes := senderCacher.threads
+	if stripes > len(txs) {
+		stripes = len(txs)
+	}
+	var wg sync.WaitGroup
+	wg.Add(stripes)
+	for i := 0; i < stripes; i++ {
+		senderCacher.tasks <- senderTask{txs: txs, off: i, step: stripes, wg: &wg}
+	}
+	wg.Wait()
+}
+
+// PrefetchSenders schedules background sender recovery for txs and
+// returns immediately. It is a best-effort hint: when the pool is
+// saturated the remaining stripes are dropped rather than queued, because
+// whoever needed the senders will recover them (in parallel) anyway.
+func PrefetchSenders(txs []*Transaction) {
+	if len(txs) == 0 {
+		return
+	}
+	stripes := senderCacher.threads
+	if stripes > len(txs) {
+		stripes = len(txs)
+	}
+	for i := 0; i < stripes; i++ {
+		select {
+		case senderCacher.tasks <- senderTask{txs: txs, off: i, step: stripes}:
+		default:
+			return
+		}
+	}
+}
