@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench
+.PHONY: all build test check fmt vet race bench telemetry-budget
 
 all: build test
 
@@ -10,9 +10,9 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the pre-commit gate: formatting, static analysis, and the full
-# suite under the race detector.
-check: fmt vet race
+# check is the pre-commit gate: formatting, static analysis, the full
+# suite under the race detector, and the telemetry overhead budget.
+check: fmt vet race telemetry-budget
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -30,3 +30,10 @@ race:
 # insert, reorg, detection query).
 bench:
 	$(GO) test ./internal/state/ ./internal/chain/ -run NONE -bench . -benchtime 20x
+
+# telemetry-budget fails if a hot-path counter increment costs more than
+# the budget (30 ns/op by default; override with
+# SMARTCROWD_COUNTER_BUDGET_NS). Must run without -race: the detector's
+# instrumentation would dominate the measurement.
+telemetry-budget:
+	$(GO) test ./internal/telemetry/ -run TestCounterOverheadBudget -count=1 -v

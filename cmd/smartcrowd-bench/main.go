@@ -18,10 +18,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
 	"github.com/smartcrowd/smartcrowd/internal/bench"
+	"github.com/smartcrowd/smartcrowd/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +37,7 @@ func run() int {
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		csvDir  = flag.String("csv", "", "also write each report as CSV into this directory")
 		jsonDir = flag.String("json", "", "also write each report (rows, notes, metrics) as JSON into this directory")
+		showTel = flag.Bool("telemetry", false, "print per-experiment telemetry deltas (chain/txpool/pow counters moved by the run)")
 	)
 	flag.Parse()
 
@@ -66,13 +69,21 @@ func run() int {
 	failures := 0
 	for _, exp := range selected {
 		start := time.Now()
+		before := telemetry.TakeSnapshot()
 		report, err := exp.Run(scale)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "smartcrowd-bench: %s: %v\n", exp.ID, err)
 			failures++
 			continue
 		}
+		// Attach what the run moved in the process-wide registry: counter
+		// and histogram-count deltas attribute chain/txpool/pow work to
+		// this experiment even though the registry is shared.
+		report.Telemetry = telemetry.Since(before)
 		fmt.Println(report)
+		if *showTel {
+			printTelemetry(report.Telemetry)
+		}
 		fmt.Printf("(%s in %s)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
 		if *csvDir != "" {
 			path := filepath.Join(*csvDir, exp.ID+".csv")
@@ -100,4 +111,22 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// printTelemetry renders the counter deltas an experiment moved, skipping
+// quantile/max series (point-in-time, not attributable to one run).
+func printTelemetry(deltas map[string]float64) {
+	keys := make([]string, 0, len(deltas))
+	for k := range deltas {
+		if strings.Contains(k, "_p50") || strings.Contains(k, "_p90") ||
+			strings.Contains(k, "_p99") || strings.Contains(k, "_max") {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Println("telemetry deltas:")
+	for _, k := range keys {
+		fmt.Printf("  %-60s %14.0f\n", k, deltas[k])
+	}
 }

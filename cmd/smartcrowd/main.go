@@ -264,6 +264,8 @@ func cmdSimulate(args []string) int {
 		fmt.Printf("\nSRA %s: %d/%d vulnerabilities confirmed, %s forfeited of %s insurance\n",
 			sra.ID.Short(), sra.Confirmed, sra.NumVulns, sra.PaidOut, sra.Insurance)
 	}
+	fmt.Println()
+	fmt.Print(res.TelemetrySummary())
 	return 0
 }
 
@@ -271,6 +273,7 @@ func cmdServe(args []string) int {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8047", "listen address")
 	seed := fs.Int64("seed", 1, "deterministic run seed")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (operator use only)")
 	_ = fs.Parse(args)
 
 	// Build the demo platform so the API has something to serve.
@@ -309,7 +312,11 @@ func cmdServe(args []string) int {
 	fmt.Printf("serving SmartCrowd API on http://%s\n", *addr)
 	fmt.Printf("try: curl http://%s/status\n", *addr)
 	fmt.Printf("     curl http://%s/reference/%s\n", *addr, sra.ID)
-	server := rpc.NewServer(prov, p.Contract())
+	fmt.Printf("     curl http://%s/metrics\n", *addr)
+	if *pprofOn {
+		fmt.Printf("     pprof enabled: go tool pprof http://%s/debug/pprof/profile\n", *addr)
+	}
+	server := rpc.NewServerWith(prov, p.Contract(), rpc.Config{EnablePprof: *pprofOn})
 	if err := http.ListenAndServe(*addr, server); err != nil {
 		fmt.Fprintf(os.Stderr, "smartcrowd: serve: %v\n", err)
 		return 1

@@ -53,6 +53,10 @@ type Report struct {
 	// for dashboards and regression tracking; most figure regenerations
 	// leave it nil.
 	Metrics map[string]float64 `json:",omitempty"`
+	// Telemetry holds the process-wide telemetry movement (counter and
+	// histogram-count deltas, current gauges) measured across the
+	// experiment's run; populated by the bench CLI via telemetry.Since.
+	Telemetry map[string]float64 `json:",omitempty"`
 	// ShapeOK reports whether every qualitative claim held.
 	ShapeOK bool
 }

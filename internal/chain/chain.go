@@ -4,12 +4,15 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/smartcrowd/smartcrowd/internal/contract"
 	"github.com/smartcrowd/smartcrowd/internal/pow"
 	"github.com/smartcrowd/smartcrowd/internal/state"
+	"github.com/smartcrowd/smartcrowd/internal/telemetry"
 	"github.com/smartcrowd/smartcrowd/internal/types"
 )
 
@@ -268,14 +271,23 @@ func (c *Chain) InsertBlock(blk *types.Block) (bool, error) {
 	// Fast duplicate path: skip the expensive stateless work for blocks
 	// already stored (gossip redelivery, orphan reprocessing).
 	if c.HasBlock(blk.ID()) {
+		mImportKnown.Inc()
 		return false, fmt.Errorf("%w: %s", ErrKnownBlock, blk.ID().Short())
 	}
+	t0 := time.Now()
 	if err := c.verifyStateless(blk); err != nil {
+		mStage1Ns.ObserveDuration(time.Since(t0))
+		mImportFailed.Inc()
 		return false, err
 	}
+	mStage1Ns.ObserveDuration(time.Since(t0))
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.insertVerifiedLocked(blk)
+	t1 := time.Now()
+	switched, err := c.insertVerifiedLocked(blk)
+	mStage2Ns.ObserveDuration(time.Since(t1))
+	recordImport(err)
+	return switched, err
 }
 
 // InsertChain imports a batch of blocks through the two-stage verification
@@ -295,6 +307,8 @@ func (c *Chain) InsertChain(blocks []*types.Block) (int, error) {
 	if len(blocks) == 0 {
 		return 0, nil
 	}
+	mBatchBlocks.Observe(uint64(len(blocks)))
+	span := telemetry.StartSpan("chain.InsertChain")
 
 	// Stage 1: parallel stateless verification. Workers pull block indices
 	// from a shared cursor and publish results through per-block channels,
@@ -316,7 +330,9 @@ func (c *Chain) InsertChain(blocks []*types.Block) (int, error) {
 				if i >= len(blocks) {
 					return
 				}
+				t0 := time.Now()
 				errs[i] = c.verifyStatelessAt(blocks, i)
+				mStage1Ns.ObserveDuration(time.Since(t0))
 				close(done[i])
 			}
 		}()
@@ -327,16 +343,23 @@ func (c *Chain) InsertChain(blocks []*types.Block) (int, error) {
 	for i, blk := range blocks {
 		<-done[i]
 		if errs[i] != nil {
+			mImportFailed.Inc()
+			span.End(telemetry.L("blocks", strconv.Itoa(processed)), telemetry.L("failed", "1"))
 			return processed, fmt.Errorf("chain: batch block %d (#%d): %w", i, blk.Header.Number, errs[i])
 		}
 		c.mu.Lock()
+		t1 := time.Now()
 		_, err := c.insertVerifiedLocked(blk)
+		mStage2Ns.ObserveDuration(time.Since(t1))
 		c.mu.Unlock()
+		recordImport(err)
 		if err != nil && !errors.Is(err, ErrKnownBlock) {
+			span.End(telemetry.L("blocks", strconv.Itoa(processed)), telemetry.L("failed", "1"))
 			return processed, fmt.Errorf("chain: batch block %d (#%d): %w", i, blk.Header.Number, err)
 		}
 		processed++
 	}
+	span.End(telemetry.L("blocks", strconv.Itoa(processed)))
 	return processed, nil
 }
 
@@ -482,6 +505,9 @@ func (c *Chain) setHead(e *entry) {
 		cursor = cursor.parent
 	}
 	forkPoint := cursor.block.Header.Number
+	if forkPoint+1 < uint64(len(c.canon)) {
+		mReorgs.Inc()
+	}
 
 	// Remove receipts and detection records of the abandoned suffix.
 	// Detection records per SRA are in ascending block order, so the
@@ -528,6 +554,7 @@ func (c *Chain) setHead(e *entry) {
 		}
 	}
 	c.head = e
+	mHeadHeight.Set(int64(e.block.Header.Number))
 }
 
 // reportSRAID extracts the SRA a detection-report transaction refers to.

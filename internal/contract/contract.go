@@ -199,6 +199,7 @@ func (c *Contract) ApplySRA(st *state.DB, blockNum uint64, sra *types.SRA) error
 	st.SetStorage(Address, slot([]byte("sra-bounty"), id[:]), amountHash(sra.Bounty))
 	st.SetStorage(Address, slot([]byte("sra-release-block"), id[:]), uintHash(blockNum))
 	st.SetStorage(Address, slot([]byte("escrow-total")), amountHash(outstanding+sra.Insurance))
+	mSRAAnnounced.Inc()
 	return nil
 }
 
@@ -219,6 +220,7 @@ func (c *Contract) ApplyInitialReport(st *state.DB, blockNum uint64, r *types.In
 	st.SetStorage(Address, key, uintHash(blockNum+1)) // +1 so block 0 is representable
 	st.SetStorage(Address, slot([]byte("commit-owner"), r.DetailHash[:]), addrHash(r.Detector))
 	st.SetStorage(Address, slot([]byte("commit-wallet"), r.DetailHash[:]), addrHash(r.Wallet))
+	mCommitRecorded.Inc()
 	return nil
 }
 
@@ -309,6 +311,11 @@ func (c *Contract) ApplyDetailedReport(st *state.DB, blockNum uint64, r *types.D
 
 	count := hashUint(st.GetStorage(Address, slot([]byte("sra-vulns"), r.SRAID[:])))
 	st.SetStorage(Address, slot([]byte("sra-vulns"), r.SRAID[:]), uintHash(count+uint64(len(payout.Accepted))))
+	mRevealAccepted.Inc()
+	mFindingsOK.Add(uint64(len(payout.Accepted)))
+	mFindingsForged.Add(uint64(payout.RejectedForged))
+	mFindingsDup.Add(uint64(payout.RejectedDuplicate))
+	mPayoutGwei.Add(uint64(payout.Paid))
 	return payout, nil
 }
 
@@ -338,6 +345,8 @@ func (c *Contract) Refund(st *state.DB, blockNum uint64, sraID types.Hash, calle
 	if err := st.Transfer(Address, provider, remaining); err != nil {
 		return 0, fmt.Errorf("contract: refund transfer: %w", err)
 	}
+	mRefundPaid.Inc()
+	mRefundGwei.Add(uint64(remaining))
 	return remaining, nil
 }
 

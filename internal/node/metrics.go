@@ -1,0 +1,23 @@
+package node
+
+import "github.com/smartcrowd/smartcrowd/internal/telemetry"
+
+var (
+	mOrphanBuffered    = telemetry.GetCounter("smartcrowd_node_orphans_buffered_total")
+	mOrphanReplaced    = telemetry.GetCounter("smartcrowd_node_orphan_evictions_total", telemetry.L("reason", "replaced"))
+	mOrphanCapacity    = telemetry.GetCounter("smartcrowd_node_orphan_evictions_total", telemetry.L("reason", "capacity"))
+	mOrphanDepth       = telemetry.GetGauge("smartcrowd_node_orphan_depth")
+	mGossipDupTx       = telemetry.GetCounter("smartcrowd_node_gossip_duplicates_total", telemetry.L("kind", "tx"))
+	mGossipDupBlock    = telemetry.GetCounter("smartcrowd_node_gossip_duplicates_total", telemetry.L("kind", "block"))
+	mGossipMalformed   = telemetry.GetCounter("smartcrowd_node_gossip_malformed_total")
+	mBlockRequestsSent = telemetry.GetCounter("smartcrowd_node_block_requests_total")
+)
+
+func init() {
+	telemetry.SetHelp("smartcrowd_node_orphans_buffered_total", "blocks parked in the orphan buffer awaiting an ancestor")
+	telemetry.SetHelp("smartcrowd_node_orphan_evictions_total", "orphan-buffer evictions, by reason (replaced = same parent slot, capacity = buffer full)")
+	telemetry.SetHelp("smartcrowd_node_orphan_depth", "blocks currently parked in the orphan buffer")
+	telemetry.SetHelp("smartcrowd_node_gossip_duplicates_total", "gossip redeliveries of already-seen payloads, by kind")
+	telemetry.SetHelp("smartcrowd_node_gossip_malformed_total", "gossip payloads that failed to decode and were dropped")
+	telemetry.SetHelp("smartcrowd_node_block_requests_total", "ancestor backfill requests sent after an orphaned block")
+}

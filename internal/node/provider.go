@@ -12,6 +12,7 @@ package node
 import (
 	"errors"
 	"fmt"
+	"log"
 	"sync"
 
 	"github.com/smartcrowd/smartcrowd/internal/chain"
@@ -21,6 +22,11 @@ import (
 	"github.com/smartcrowd/smartcrowd/internal/types"
 	"github.com/smartcrowd/smartcrowd/internal/wallet"
 )
+
+// maxOrphans bounds the per-node orphan buffer. Orphans are blocks whose
+// ancestry has not arrived yet; an unbounded buffer would let a peer park
+// arbitrary junk in memory forever.
+const maxOrphans = 128
 
 // ProviderNode is a mining IoT provider: a full SmartCrowd node.
 type ProviderNode struct {
@@ -81,10 +87,40 @@ func (p *ProviderNode) SubmitTx(tx *types.Transaction) error {
 	return p.acceptTx(tx, true)
 }
 
+// bufferOrphan parks a block whose parent is unknown. The buffer is
+// bounded and keyed by parent id, so a park can evict: a block already
+// holding the same parent slot is replaced, and at capacity the incoming
+// block itself is refused. Either way the drop is classified, counted and
+// logged instead of disappearing silently; the returned reason ("" = no
+// eviction) keeps the outcome visible to callers and tests. Callers hold
+// the lock.
+func (p *ProviderNode) bufferOrphan(b *types.Block) (evicted string) {
+	parent := b.Header.ParentID
+	if old, ok := p.orphans[parent]; ok {
+		if old.ID() == b.ID() {
+			return ""
+		}
+		evicted = "replaced"
+		mOrphanReplaced.Inc()
+		log.Printf("node %s: orphan buffer evicted block %s (replaced by %s, same parent %s)",
+			p.id, old.ID().Short(), b.ID().Short(), parent.Short())
+	} else if len(p.orphans) >= maxOrphans {
+		mOrphanCapacity.Inc()
+		log.Printf("node %s: orphan buffer full (%d), dropping block %s (parent %s)",
+			p.id, maxOrphans, b.ID().Short(), parent.Short())
+		return "capacity"
+	}
+	p.orphans[parent] = b
+	mOrphanBuffered.Inc()
+	mOrphanDepth.Set(int64(len(p.orphans)))
+	return evicted
+}
+
 // acceptTx pools and optionally gossips; callers hold the lock.
 func (p *ProviderNode) acceptTx(tx *types.Transaction, gossip bool) error {
 	hash := tx.Hash()
 	if p.seenTxs[hash] {
+		mGossipDupTx.Inc()
 		return txpool.ErrKnownTx
 	}
 	st := p.chain.State()
@@ -122,6 +158,7 @@ func (p *ProviderNode) HandleMessages() {
 		case p2p.MsgTx:
 			tx, err := types.DecodeTx(msg.Payload)
 			if err != nil {
+				mGossipMalformed.Inc()
 				continue // malformed gossip is dropped, not propagated
 			}
 			txBatch = append(txBatch, tx)
@@ -129,6 +166,7 @@ func (p *ProviderNode) HandleMessages() {
 			flushTxs()
 			blk, err := types.DecodeBlock(msg.Payload)
 			if err != nil {
+				mGossipMalformed.Inc()
 				continue
 			}
 			// Warm the ECDSA caches while we wait for the node lock.
@@ -139,6 +177,7 @@ func (p *ProviderNode) HandleMessages() {
 			// that announced it.
 			if _, missing := p.orphans[blk.Header.ParentID]; missing && !p.chain.HasBlock(blk.Header.ParentID) {
 				parentID := blk.Header.ParentID
+				mBlockRequestsSent.Inc()
 				_ = p.net.Send(p.id, msg.From, p2p.Message{
 					Kind:    p2p.MsgBlockRequest,
 					Payload: parentID[:],
@@ -148,6 +187,7 @@ func (p *ProviderNode) HandleMessages() {
 		case p2p.MsgBlockRequest:
 			flushTxs()
 			if len(msg.Payload) != types.HashSize {
+				mGossipMalformed.Inc()
 				continue
 			}
 			var id types.Hash
@@ -200,6 +240,7 @@ func (p *ProviderNode) acceptTxs(txs []*types.Transaction, gossip bool) {
 func (p *ProviderNode) acceptBlock(blk *types.Block, gossip bool) {
 	id := blk.ID()
 	if p.seenBlocks[id] {
+		mGossipDupBlock.Inc()
 		return
 	}
 
@@ -214,6 +255,7 @@ func (p *ProviderNode) acceptBlock(blk *types.Block, gossip bool) {
 		segment = append(segment, child)
 		cursor = child.ID()
 	}
+	mOrphanDepth.Set(int64(len(p.orphans)))
 
 	n, err := p.chain.InsertChain(segment)
 	for _, b := range segment[:n] {
@@ -242,7 +284,7 @@ func (p *ProviderNode) acceptBlock(blk *types.Block, gossip bool) {
 	if errors.Is(err, chain.ErrUnknownParent) {
 		// Buffer the disconnected suffix for when its ancestry arrives.
 		for _, b := range rest {
-			p.orphans[b.Header.ParentID] = b
+			p.bufferOrphan(b)
 		}
 		return
 	}
@@ -250,7 +292,7 @@ func (p *ProviderNode) acceptBlock(blk *types.Block, gossip bool) {
 	// so behavior matches per-block processing (they stay parked until
 	// their parent ever arrives, which an invalid parent never will).
 	for _, b := range rest[1:] {
-		p.orphans[b.Header.ParentID] = b
+		p.bufferOrphan(b)
 	}
 }
 

@@ -1,0 +1,17 @@
+package p2p
+
+import "github.com/smartcrowd/smartcrowd/internal/telemetry"
+
+var (
+	mDelivered   = telemetry.GetCounter("smartcrowd_p2p_deliveries_total", telemetry.L("outcome", "delivered"))
+	mDropped     = telemetry.GetCounter("smartcrowd_p2p_deliveries_total", telemetry.L("outcome", "dropped"))
+	mBlocked     = telemetry.GetCounter("smartcrowd_p2p_deliveries_total", telemetry.L("outcome", "blocked"))
+	mFanoutPeers = telemetry.GetHistogram("smartcrowd_p2p_broadcast_fanout")
+	mInFlight    = telemetry.GetGauge("smartcrowd_p2p_in_flight")
+)
+
+func init() {
+	telemetry.SetHelp("smartcrowd_p2p_deliveries_total", "gossip deliveries, by outcome (dropped = loss model, blocked = partition)")
+	telemetry.SetHelp("smartcrowd_p2p_broadcast_fanout", "peers reached per Broadcast call")
+	telemetry.SetHelp("smartcrowd_p2p_in_flight", "messages currently queued for future delivery")
+}

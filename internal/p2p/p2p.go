@@ -171,6 +171,7 @@ func (n *Network) Broadcast(from NodeID, msg Message) {
 		}
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	mFanoutPeers.Observe(uint64(len(ids)))
 	for _, id := range ids {
 		n.enqueue(from, id, msg)
 	}
@@ -182,10 +183,12 @@ func (n *Network) enqueue(from, to NodeID, msg Message) {
 	n.stats.Sent++
 	if n.group[from] != n.group[to] {
 		n.stats.Blocked++
+		mBlocked.Inc()
 		return
 	}
 	if n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate {
 		n.stats.Dropped++
+		mDropped.Inc()
 		return
 	}
 	latency := n.cfg.MinLatency
@@ -232,9 +235,15 @@ func (n *Network) AdvanceTo(t uint64) {
 		for _, env := range due {
 			n.ready[id] = append(n.ready[id], env.msg)
 			n.stats.Delivered++
+			mDelivered.Inc()
 		}
 		n.inFlight[id] = later
 	}
+	inFlight := 0
+	for _, flights := range n.inFlight {
+		inFlight += len(flights)
+	}
+	mInFlight.Set(int64(inFlight))
 }
 
 // Receive drains a node's delivered messages.

@@ -6,6 +6,8 @@ import (
 	"math"
 	"math/rand"
 	"time"
+
+	"github.com/smartcrowd/smartcrowd/internal/telemetry"
 )
 
 // MinerPower describes one mining provider's share of the network.
@@ -41,6 +43,9 @@ type SimSealer struct {
 	miners     []MinerPower
 	cumulative []float64 // normalized cumulative shares
 	meanBlock  time.Duration
+	// wins are the per-miner lottery-win counters, resolved once at
+	// construction so Next stays a pure sampling step plus one atomic add.
+	wins []*telemetry.Counter
 }
 
 // SimConfig configures a SimSealer.
@@ -87,6 +92,7 @@ func NewSimSealer(cfg SimConfig) (*SimSealer, error) {
 		miners:     append([]MinerPower(nil), cfg.Miners...),
 		cumulative: cum,
 		meanBlock:  cfg.MeanBlockTime,
+		wins:       simWinCounters(cfg.Miners),
 	}, nil
 }
 
@@ -111,6 +117,7 @@ func (s *SimSealer) Next() SealEvent {
 			break
 		}
 	}
+	s.wins[winner].Inc()
 	return SealEvent{Winner: winner, Interval: interval}
 }
 

@@ -1,0 +1,29 @@
+package pow
+
+import "github.com/smartcrowd/smartcrowd/internal/telemetry"
+
+var (
+	mSealAttempts = telemetry.GetHistogram("smartcrowd_pow_seal_attempts")
+	mSealNs       = telemetry.GetHistogram("smartcrowd_pow_seal_ns")
+	mSealSealed   = telemetry.GetCounter("smartcrowd_pow_seal_total", telemetry.L("outcome", "sealed"))
+	mSealAborted  = telemetry.GetCounter("smartcrowd_pow_seal_total", telemetry.L("outcome", "aborted"))
+	mHashRate     = telemetry.GetGauge("smartcrowd_pow_hash_rate")
+)
+
+func init() {
+	telemetry.SetHelp("smartcrowd_pow_seal_attempts", "nonces tried per CPUSealer.Seal call (across all threads)")
+	telemetry.SetHelp("smartcrowd_pow_seal_ns", "wall-clock latency per CPUSealer.Seal call")
+	telemetry.SetHelp("smartcrowd_pow_seal_total", "CPUSealer.Seal calls, by outcome")
+	telemetry.SetHelp("smartcrowd_pow_hash_rate", "effective hashes per second of the last completed seal")
+	telemetry.SetHelp("smartcrowd_pow_sim_wins_total", "simulated lottery wins per miner (SimSealer)")
+}
+
+// simWinCounters builds one lottery-win counter per configured miner, so
+// per-weight win shares are readable straight off /metrics.
+func simWinCounters(miners []MinerPower) []*telemetry.Counter {
+	out := make([]*telemetry.Counter, len(miners))
+	for i, m := range miners {
+		out[i] = telemetry.GetCounter("smartcrowd_pow_sim_wins_total", telemetry.L("miner", m.Name))
+	}
+	return out
+}

@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/smartcrowd/smartcrowd/internal/types"
 )
@@ -54,16 +55,22 @@ func (s *CPUSealer) Seal(hdr types.Header, stop <-chan struct{}) (types.Header, 
 	}
 
 	var (
-		found  atomic.Bool
-		result types.Header
-		mu     sync.Mutex
-		wg     sync.WaitGroup
+		found    atomic.Bool
+		result   types.Header
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		attempts atomic.Uint64
 	)
+	sealStart := nowNanos()
 	for t := 0; t < threads; t++ {
 		wg.Add(1)
 		go func(start uint64) {
 			defer wg.Done()
 			h := hdr
+			tried := uint64(0)
+			// Workers count attempts locally and publish once at exit so
+			// the search loop stays free of shared atomics.
+			defer func() { attempts.Add(tried) }()
 			for nonce := start; ; nonce += uint64(threads) {
 				if found.Load() {
 					return
@@ -77,6 +84,7 @@ func (s *CPUSealer) Seal(hdr types.Header, stop <-chan struct{}) (types.Header, 
 					}
 				}
 				h.Nonce = nonce
+				tried++
 				if h.MeetsPoW() {
 					if found.CompareAndSwap(false, true) {
 						mu.Lock()
@@ -89,9 +97,18 @@ func (s *CPUSealer) Seal(hdr types.Header, stop <-chan struct{}) (types.Header, 
 		}(uint64(t))
 	}
 	wg.Wait()
+	elapsed := nowNanos() - sealStart
+	tried := attempts.Load()
+	mSealAttempts.Observe(tried)
+	mSealNs.ObserveDuration(time.Duration(elapsed))
+	if elapsed > 0 {
+		mHashRate.Set(int64(float64(tried) / (float64(elapsed) / 1e9)))
+	}
 	if !found.Load() {
+		mSealAborted.Inc()
 		return types.Header{}, ErrSealAborted
 	}
+	mSealSealed.Inc()
 	mu.Lock()
 	defer mu.Unlock()
 	return result, nil

@@ -14,15 +14,24 @@
 //	GET  /reference/{id}               consumer security reference
 //	GET  /proof/{txhash}               Merkle inclusion proof for a tx
 //	POST /tx                           submit a hex-encoded transaction
+//
+// Observability endpoints (see DESIGN.md §7):
+//
+//	GET  /metrics                      Prometheus text exposition
+//	GET  /debug/vars                   expvar JSON (includes "smartcrowd")
+//	GET  /debug/spans                  recent traced spans, oldest first
+//	GET  /debug/pprof/...              net/http/pprof (Config.EnablePprof)
 package rpc
 
 import (
 	"encoding/hex"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 
@@ -30,9 +39,18 @@ import (
 	"github.com/smartcrowd/smartcrowd/internal/crypto/merkle"
 	"github.com/smartcrowd/smartcrowd/internal/light"
 	"github.com/smartcrowd/smartcrowd/internal/node"
+	"github.com/smartcrowd/smartcrowd/internal/telemetry"
 	"github.com/smartcrowd/smartcrowd/internal/types"
 	"github.com/smartcrowd/smartcrowd/internal/wallet"
 )
+
+// Config tunes the optional parts of the API surface.
+type Config struct {
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints expose heap contents and should only
+	// face operators.
+	EnablePprof bool
+}
 
 // Server serves the JSON API for one provider node.
 type Server struct {
@@ -42,8 +60,13 @@ type Server struct {
 }
 
 // NewServer wires the API around a provider node and the SmartCrowd
-// contract.
+// contract with the default configuration.
 func NewServer(n *node.ProviderNode, c *contract.Contract) *Server {
+	return NewServerWith(n, c, Config{})
+}
+
+// NewServerWith wires the API with explicit configuration.
+func NewServerWith(n *node.ProviderNode, c *contract.Contract, cfg Config) *Server {
 	s := &Server{node: n, contract: c, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /status", s.handleStatus)
 	s.mux.HandleFunc("GET /block/{number}", s.handleBlock)
@@ -53,7 +76,30 @@ func NewServer(n *node.ProviderNode, c *contract.Contract) *Server {
 	s.mux.HandleFunc("GET /reference/{id}", s.handleReference)
 	s.mux.HandleFunc("GET /proof/{txhash}", s.handleProof)
 	s.mux.HandleFunc("POST /tx", s.handleSubmitTx)
+
+	// Observability surface. The metrics registry is process-wide, so
+	// every server mounted in one process serves the same numbers.
+	telemetry.PublishExpvar()
+	s.mux.Handle("GET /metrics", telemetry.Handler())
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux.HandleFunc("GET /debug/spans", s.handleSpans)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
+}
+
+// handleSpans serves the tracer's recent-span ring, oldest first.
+func (s *Server) handleSpans(w http.ResponseWriter, _ *http.Request) {
+	spans := telemetry.RecentSpans()
+	if spans == nil {
+		spans = []telemetry.SpanRecord{}
+	}
+	writeJSON(w, http.StatusOK, spans)
 }
 
 // ServeHTTP implements http.Handler.

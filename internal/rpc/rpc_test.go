@@ -24,6 +24,7 @@ type env struct {
 	t        *testing.T
 	server   *httptest.Server
 	provider *node.ProviderNode
+	sc       *contract.Contract
 	alice    *wallet.Wallet
 	detector *wallet.Wallet
 	sra      *types.SRA
@@ -50,6 +51,7 @@ func newEnv(t *testing.T) *env {
 	e := &env{
 		t:        t,
 		provider: prov,
+		sc:       sc,
 		alice:    alice,
 		detector: detector,
 	}

@@ -22,6 +22,7 @@ import (
 	"github.com/smartcrowd/smartcrowd/internal/detection"
 	"github.com/smartcrowd/smartcrowd/internal/incentive"
 	"github.com/smartcrowd/smartcrowd/internal/pow"
+	"github.com/smartcrowd/smartcrowd/internal/telemetry"
 	"github.com/smartcrowd/smartcrowd/internal/txpool"
 	"github.com/smartcrowd/smartcrowd/internal/types"
 	"github.com/smartcrowd/smartcrowd/internal/wallet"
@@ -117,6 +118,8 @@ type Result struct {
 	Detectors []types.Address
 	Chain     *chain.Chain
 	Contract  *contract.Contract
+	// telemetry is the run's end-of-run metric snapshot (see Telemetry).
+	telemetry telemetry.Snapshot
 }
 
 // ProviderBalance returns the tracked balance of provider i.
@@ -165,6 +168,7 @@ type runner struct {
 	sealer   *pow.SimSealer
 	pool     *txpool.Pool
 	tracker  *incentive.Tracker
+	metrics  *simMetrics
 
 	providerWallets []*wallet.Wallet
 	detectorWallets []*wallet.Wallet
@@ -238,6 +242,7 @@ func Run(cfg Config) (*Result, error) {
 		verifier:    detection.NewGroundTruthVerifier(false),
 		pool:        txpool.New(txpool.Config{Capacity: 1 << 16}),
 		tracker:     incentive.NewTracker(),
+		metrics:     newSimMetrics(),
 		nonces:      make(map[types.Address]uint64),
 		sraProvider: make(map[types.Hash]int),
 	}
@@ -473,6 +478,10 @@ func (r *runner) mine(ev pow.SealEvent) {
 		Reports:  blk.CountReports(),
 	}
 	r.tracker.Record(minerWallet.Address(), incentive.FlowMining, r.chain.Config().BlockReward)
+	r.metrics.blocks.Inc()
+	r.metrics.blockInterval.Observe(uint64(ev.Interval / time.Millisecond))
+	r.metrics.blockTxs.Observe(uint64(len(blk.Txs)))
+	r.metrics.rewardGwei.Add(uint64(r.chain.Config().BlockReward))
 	for _, tx := range blk.Txs {
 		receipt, err := r.chain.ReceiptOf(tx.Hash())
 		if err != nil {
@@ -481,6 +490,8 @@ func (r *runner) mine(ev pow.SealEvent) {
 		r.tracker.Record(minerWallet.Address(), incentive.FlowFees, receipt.Fee)
 		r.tracker.Record(tx.From, incentive.FlowGas, receipt.Fee)
 		stat.Fees += receipt.Fee
+		r.metrics.feesGwei.Add(uint64(receipt.Fee))
+		r.metrics.gasGwei.Add(uint64(receipt.Fee))
 		if receipt.Kind == types.TxDetailedReport && receipt.Success {
 			rep, repErr := tx.DetailedReport()
 			if repErr != nil {
@@ -488,9 +499,11 @@ func (r *runner) mine(ev pow.SealEvent) {
 			}
 			r.tracker.Record(rep.Wallet, incentive.FlowBounty, receipt.Payout.Paid)
 			r.tracker.RecordAccepted(rep.Wallet, uint64(len(receipt.Payout.Accepted)))
+			r.metrics.bountyGwei.Add(uint64(receipt.Payout.Paid))
 			if pIdx, ok := r.sraProvider[rep.SRAID]; ok {
 				r.tracker.Record(r.providerWallets[pIdx].Address(),
 					incentive.FlowPunishment, receipt.Payout.Paid)
+				r.metrics.punishGwei.Add(uint64(receipt.Payout.Paid))
 				for _, o := range r.sraOutcomes {
 					if o.ID == rep.SRAID {
 						o.PaidOut += receipt.Payout.Paid
@@ -555,10 +568,11 @@ func (r *runner) nextNonce(a types.Address) uint64 {
 
 func (r *runner) result() *Result {
 	res := &Result{
-		Blocks:   r.blockStats,
-		Tracker:  r.tracker,
-		Chain:    r.chain,
-		Contract: r.contract,
+		Blocks:    r.blockStats,
+		Tracker:   r.tracker,
+		Chain:     r.chain,
+		Contract:  r.contract,
+		telemetry: r.metrics.reg.Snapshot(),
 	}
 	for _, w := range r.providerWallets {
 		res.Providers = append(res.Providers, w.Address())

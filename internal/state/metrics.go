@@ -1,0 +1,13 @@
+package state
+
+import "github.com/smartcrowd/smartcrowd/internal/telemetry"
+
+var (
+	mRootDirtyAccounts = telemetry.GetHistogram("smartcrowd_state_root_dirty_accounts")
+	mRootNs            = telemetry.GetHistogram("smartcrowd_state_root_ns")
+)
+
+func init() {
+	telemetry.SetHelp("smartcrowd_state_root_dirty_accounts", "accounts rehashed per non-trivial Root() computation")
+	telemetry.SetHelp("smartcrowd_state_root_ns", "latency of non-trivial Root() computations")
+}

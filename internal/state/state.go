@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/smartcrowd/smartcrowd/internal/crypto/keccak"
 	"github.com/smartcrowd/smartcrowd/internal/types"
@@ -409,6 +410,12 @@ func accountDigest(addr types.Address, acc *Account) types.Hash {
 // excluded). Only accounts touched since the previous Root() are
 // re-hashed, so the cost is O(dirty · log accounts), not O(world state).
 func (db *DB) Root() types.Hash {
+	if n := len(db.dirty); n > 0 {
+		// Clean roots are free and frequent; only rehash work is observed.
+		mRootDirtyAccounts.Observe(uint64(n))
+		t0 := time.Now()
+		defer func() { mRootNs.ObserveDuration(time.Since(t0)) }()
+	}
 	for addr := range db.dirty {
 		if acc, ok := db.accounts[addr]; ok && !acc.empty() {
 			db.trie = trieUpsert(db.trie, addr, accountDigest(addr, acc))

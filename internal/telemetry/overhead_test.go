@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+var sinkCounter Counter
+var sinkHist Histogram
+
+func BenchmarkCounterInc(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkCounter.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			sinkCounter.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkHist.Observe(uint64(i))
+	}
+}
+
+// TestCounterOverheadBudget is the CI overhead gate: a counter increment
+// must stay within the documented per-increment budget (default 30ns,
+// overridable via SMARTCROWD_COUNTER_BUDGET_NS for slower machines). It is
+// skipped under the race detector, which multiplies atomic costs by an
+// order of magnitude and would only measure the instrumentation.
+func TestCounterOverheadBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("overhead budget is not meaningful under -race")
+	}
+	if testing.Short() {
+		t.Skip("skipping overhead budget in -short mode")
+	}
+	budget := 30.0
+	if env := os.Getenv("SMARTCROWD_COUNTER_BUDGET_NS"); env != "" {
+		v, err := strconv.ParseFloat(env, 64)
+		if err != nil {
+			t.Fatalf("bad SMARTCROWD_COUNTER_BUDGET_NS %q: %v", env, err)
+		}
+		budget = v
+	}
+	res := testing.Benchmark(BenchmarkCounterInc)
+	perOp := float64(res.T.Nanoseconds()) / float64(res.N)
+	t.Logf("counter increment: %.2f ns/op over %d iterations (budget %.0f ns)", perOp, res.N, budget)
+	if perOp > budget {
+		t.Errorf("counter increment %.2f ns/op exceeds %.0f ns budget", perOp, budget)
+	}
+	if res.AllocsPerOp() != 0 {
+		t.Errorf("counter increment allocates %d objects/op, want 0", res.AllocsPerOp())
+	}
+}

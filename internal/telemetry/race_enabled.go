@@ -1,0 +1,7 @@
+//go:build race
+
+package telemetry
+
+// raceEnabled reports whether the race detector is compiled in; the
+// overhead-budget gate skips itself under -race.
+const raceEnabled = true

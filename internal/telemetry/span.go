@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// spanRingSize bounds the retained completed spans.
+const spanRingSize = 256
+
+// SpanRecord is one completed traced region.
+type SpanRecord struct {
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	// DurationNs is the span's wall-clock length in nanoseconds.
+	DurationNs int64             `json:"durationNs"`
+	Labels     map[string]string `json:"labels,omitempty"`
+}
+
+// spanRing retains the most recent spanRingSize completed spans. Spans end
+// at block/batch granularity (not per transaction), so a mutex here is
+// nowhere near any hot path.
+type spanRing struct {
+	mu    sync.Mutex
+	buf   [spanRingSize]SpanRecord
+	next  int
+	total uint64
+}
+
+func (sr *spanRing) record(rec SpanRecord) {
+	sr.mu.Lock()
+	sr.buf[sr.next] = rec
+	sr.next = (sr.next + 1) % spanRingSize
+	sr.total++
+	sr.mu.Unlock()
+}
+
+// recent returns retained spans oldest-first.
+func (sr *spanRing) recent() []SpanRecord {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	n := spanRingSize
+	if sr.total < uint64(n) {
+		n = int(sr.total)
+	}
+	out := make([]SpanRecord, 0, n)
+	start := (sr.next - n + spanRingSize) % spanRingSize
+	for i := 0; i < n; i++ {
+		out = append(out, sr.buf[(start+i)%spanRingSize])
+	}
+	return out
+}
+
+// Span is an in-progress traced region; End completes it into the
+// registry's ring buffer.
+type Span struct {
+	ring  *spanRing
+	name  string
+	start time.Time
+}
+
+// StartSpan opens a span. The returned value is cheap to discard — a span
+// never ended is simply never recorded.
+func (r *Registry) StartSpan(name string) Span {
+	return Span{ring: &r.spans, name: name, start: time.Now()}
+}
+
+// End completes the span with optional labels and returns its duration.
+func (s Span) End(labels ...Label) time.Duration {
+	d := time.Since(s.start)
+	if s.ring == nil {
+		return d
+	}
+	var lm map[string]string
+	if len(labels) > 0 {
+		lm = make(map[string]string, len(labels))
+		for _, l := range labels {
+			lm[l.Key] = l.Value
+		}
+	}
+	s.ring.record(SpanRecord{Name: s.name, Start: s.start, DurationNs: int64(d), Labels: lm})
+	return d
+}
+
+// RecentSpans returns the registry's retained spans, oldest first.
+func (r *Registry) RecentSpans() []SpanRecord { return r.spans.recent() }
+
+// StartSpan opens a span on the Default registry.
+func StartSpan(name string) Span { return Default.StartSpan(name) }
+
+// RecentSpans returns the Default registry's retained spans.
+func RecentSpans() []SpanRecord { return Default.RecentSpans() }

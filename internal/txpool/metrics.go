@@ -1,0 +1,43 @@
+package txpool
+
+import (
+	"errors"
+
+	"github.com/smartcrowd/smartcrowd/internal/telemetry"
+)
+
+var (
+	mAdmitAccepted     = telemetry.GetCounter("smartcrowd_txpool_admit_total", telemetry.L("outcome", "accepted"))
+	mAdmitDuplicate    = telemetry.GetCounter("smartcrowd_txpool_admit_total", telemetry.L("outcome", "duplicate"))
+	mAdmitUnderpriced  = telemetry.GetCounter("smartcrowd_txpool_admit_total", telemetry.L("outcome", "underpriced"))
+	mAdmitFull         = telemetry.GetCounter("smartcrowd_txpool_admit_total", telemetry.L("outcome", "full"))
+	mAdmitNonceLow     = telemetry.GetCounter("smartcrowd_txpool_admit_total", telemetry.L("outcome", "nonce_low"))
+	mAdmitUnaffordable = telemetry.GetCounter("smartcrowd_txpool_admit_total", telemetry.L("outcome", "unaffordable"))
+	mAdmitInvalid      = telemetry.GetCounter("smartcrowd_txpool_admit_total", telemetry.L("outcome", "invalid"))
+	mPending           = telemetry.GetGauge("smartcrowd_txpool_pending")
+)
+
+func init() {
+	telemetry.SetHelp("smartcrowd_txpool_admit_total", "transaction admission attempts, by outcome")
+	telemetry.SetHelp("smartcrowd_txpool_pending", "transactions currently pooled")
+}
+
+// recordAdmit classifies one admission attempt into the counter family.
+func recordAdmit(err error) {
+	switch {
+	case err == nil:
+		mAdmitAccepted.Inc()
+	case errors.Is(err, ErrKnownTx):
+		mAdmitDuplicate.Inc()
+	case errors.Is(err, ErrUnderpriced):
+		mAdmitUnderpriced.Inc()
+	case errors.Is(err, ErrPoolFull):
+		mAdmitFull.Inc()
+	case errors.Is(err, ErrNonceTooLow):
+		mAdmitNonceLow.Inc()
+	case errors.Is(err, ErrUnaffordable):
+		mAdmitUnaffordable.Inc()
+	default:
+		mAdmitInvalid.Inc()
+	}
+}

@@ -73,13 +73,17 @@ func New(cfg Config) *Pool {
 // signature recovery.
 func (p *Pool) Add(tx *types.Transaction, st StateReader) error {
 	if err := tx.ValidateBasic(); err != nil {
+		mAdmitInvalid.Inc()
 		return fmt.Errorf("%w: %v", ErrInvalidTx, err)
 	}
 	hash := tx.Hash()
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.admitLocked(tx, hash, st)
+	err := p.admitLocked(tx, hash, st)
+	recordAdmit(err)
+	mPending.Set(int64(len(p.byHash)))
+	return err
 }
 
 // AddAll admits a batch of transactions. Sender recovery is warmed in
@@ -98,6 +102,7 @@ func (p *Pool) AddAll(txs []*types.Transaction, st StateReader) []error {
 	for i, tx := range txs {
 		if err := tx.ValidateBasic(); err != nil {
 			errs[i] = fmt.Errorf("%w: %v", ErrInvalidTx, err)
+			mAdmitInvalid.Inc()
 			continue
 		}
 		hashes[i] = tx.Hash()
@@ -110,7 +115,9 @@ func (p *Pool) AddAll(txs []*types.Transaction, st StateReader) []error {
 			continue
 		}
 		errs[i] = p.admitLocked(tx, hashes[i], st)
+		recordAdmit(errs[i])
 	}
+	mPending.Set(int64(len(p.byHash)))
 	return errs
 }
 
@@ -173,6 +180,7 @@ func (p *Pool) Remove(hash types.Hash) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.removeLocked(hash)
+	mPending.Set(int64(len(p.byHash)))
 }
 
 func (p *Pool) removeLocked(hash types.Hash) {
@@ -206,6 +214,7 @@ func (p *Pool) Prune(st StateReader) {
 			delete(p.perSender, sender)
 		}
 	}
+	mPending.Set(int64(len(p.byHash)))
 }
 
 // Pending selects up to maxTxs transactions for block assembly: senders'

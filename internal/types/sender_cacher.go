@@ -76,6 +76,7 @@ func RecoverSenders(txs []*Transaction) {
 	if len(txs) == 0 {
 		return
 	}
+	mRecoverBatchTxs.Observe(uint64(len(txs)))
 	if len(txs) == 1 || senderCacher.threads == 1 {
 		runStripe(txs, 0, 1)
 		return
@@ -95,10 +96,14 @@ func RecoverSenders(txs []*Transaction) {
 // PrefetchSenders schedules background sender recovery for txs and
 // returns immediately. It is a best-effort hint: when the pool is
 // saturated the remaining stripes are dropped rather than queued, because
-// whoever needed the senders will recover them (in parallel) anyway.
-func PrefetchSenders(txs []*Transaction) {
+// whoever needed the senders will recover them (in parallel) anyway. The
+// returned count is how many stripes were shed that way — zero means the
+// whole slice was scheduled — so callers can surface load-shedding
+// instead of it disappearing silently; shed and scheduled stripes are
+// also counted in the smartcrowd_types_prefetch_stripes_total family.
+func PrefetchSenders(txs []*Transaction) (shed int) {
 	if len(txs) == 0 {
-		return
+		return 0
 	}
 	stripes := senderCacher.threads
 	if stripes > len(txs) {
@@ -107,8 +112,12 @@ func PrefetchSenders(txs []*Transaction) {
 	for i := 0; i < stripes; i++ {
 		select {
 		case senderCacher.tasks <- senderTask{txs: txs, off: i, step: stripes}:
+			mPrefetchSched.Inc()
 		default:
-			return
+			shed = stripes - i
+			mPrefetchShed.Add(uint64(shed))
+			return shed
 		}
 	}
+	return 0
 }

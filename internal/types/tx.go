@@ -219,8 +219,10 @@ func (tx *Transaction) Sender() (Address, error) {
 	}
 	if cached := tx.senderCache.Load(); cached != nil &&
 		cached.sigHash == sigHash && cached.sig == sigBytes {
+		mSenderCacheHit.Inc()
 		return cached.addr, cached.err
 	}
+	mSenderCacheMiss.Inc()
 
 	entry := &senderEntry{sigHash: sigHash, sig: sigBytes}
 	addr, err := wallet.RecoverSigner(sigHash, tx.Sig)
