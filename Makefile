@@ -20,8 +20,11 @@ fmt:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
+# The wire transport is vetted explicitly on top of the repo-wide pass:
+# its concurrency-heavy socket code is where vet findings bite hardest.
 vet:
 	$(GO) vet ./...
+	$(GO) vet ./internal/wire
 
 race:
 	$(GO) test -race ./...

@@ -6,6 +6,8 @@
 //	demo              run the full release→detect→payout→query lifecycle
 //	mine              seal blocks with the real CPU proof-of-work sealer
 //	simulate          run a whole-platform simulation and print balances
+//	node              run a networked provider on the TCP wire transport
+//	serve             serve the HTTP/JSON query API
 //
 // Run `smartcrowd <subcommand> -h` for flags.
 package main
@@ -45,6 +47,8 @@ func run(args []string) int {
 		return cmdMine(args[1:])
 	case "simulate":
 		return cmdSimulate(args[1:])
+	case "node":
+		return cmdNode(args[1:])
 	case "serve":
 		return cmdServe(args[1:])
 	case "-h", "--help", "help":
@@ -65,7 +69,9 @@ subcommands:
   demo        run the full release→detect→payout→query lifecycle
   mine        seal blocks with the real CPU proof-of-work sealer
   simulate    run a whole-platform simulation and print balances
-  serve       run the demo lifecycle and serve the HTTP/JSON query API`)
+  node        run a networked provider: TCP gossip, CPU mining, /v1 API
+  serve       run the demo lifecycle and serve the HTTP/JSON query API
+              (with -listen/-peers: a networked node, like 'node')`)
 }
 
 func cmdKeygen(args []string) int {
@@ -274,7 +280,24 @@ func cmdServe(args []string) int {
 	addr := fs.String("addr", "127.0.0.1:8047", "listen address")
 	seed := fs.Int64("seed", 1, "deterministic run seed")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (operator use only)")
+	listen := fs.String("listen", "", "join a real TCP network: wire transport listen address")
+	peers := fs.String("peers", "", "comma-separated wire peer addresses (with -listen)")
 	_ = fs.Parse(args)
+
+	// With a wire listen address, serve is a networked node whose RPC
+	// listener is -addr — the multi-process deployment path. Without it,
+	// serve keeps its original behaviour: a self-contained demo chain on
+	// the simulated bus.
+	if *listen != "" {
+		nodeArgs := []string{"-listen", *listen, "-rpc", *addr}
+		if *peers != "" {
+			nodeArgs = append(nodeArgs, "-peers", *peers)
+		}
+		if *pprofOn {
+			nodeArgs = append(nodeArgs, "-pprof")
+		}
+		return cmdNode(nodeArgs)
+	}
 
 	// Build the demo platform so the API has something to serve.
 	p := core.NewPlatform(core.Config{Seed: *seed})

@@ -113,6 +113,10 @@ type Chain struct {
 	// order, maintained incrementally by setHead exactly like txIndex, so
 	// consumer queries are a map lookup instead of a full-chain scan.
 	detIndex map[types.Hash][]DetectionRecord
+	// sraIndex lists successful SRA announcements on the canonical chain
+	// in chain order (ascending block number), maintained by setHead. It
+	// backs the paginated /v1/sras listing without scanning the chain.
+	sraIndex []SRARef
 }
 
 // New creates a chain with a genesis block derived from the config's
@@ -509,9 +513,12 @@ func (c *Chain) setHead(e *entry) {
 		mReorgs.Inc()
 	}
 
-	// Remove receipts and detection records of the abandoned suffix.
-	// Detection records per SRA are in ascending block order, so the
-	// abandoned ones form the tail of each affected slice.
+	// Remove receipts, detection records and SRA listings of the
+	// abandoned suffix. Detection records per SRA and the SRA index are
+	// in ascending block order, so the abandoned entries form a tail.
+	for len(c.sraIndex) > 0 && c.sraIndex[len(c.sraIndex)-1].BlockNumber > forkPoint {
+		c.sraIndex = c.sraIndex[:len(c.sraIndex)-1]
+	}
 	dropped := make(map[types.Hash]struct{})
 	for i := forkPoint + 1; i < uint64(len(c.canon)); i++ {
 		for _, tx := range c.canon[i].block.Txs {
@@ -550,6 +557,14 @@ func (c *Chain) setHead(e *entry) {
 					Tx:          tx,
 					Receipt:     en.receipts[j],
 				})
+			}
+			if tx.Kind == types.TxSRA && en.receipts[j].Success {
+				if sra, err := tx.SRA(); err == nil {
+					c.sraIndex = append(c.sraIndex, SRARef{
+						ID:          sra.ID,
+						BlockNumber: en.block.Header.Number,
+					})
+				}
 			}
 		}
 	}
@@ -610,6 +625,36 @@ func (c *Chain) CanonicalBlocks() []*types.Block {
 		out[i] = e.block
 	}
 	return out
+}
+
+// SRARef locates a successful SRA announcement on the canonical chain.
+type SRARef struct {
+	ID          types.Hash
+	BlockNumber uint64
+}
+
+// SRACount returns how many SRA announcements the canonical chain holds.
+func (c *Chain) SRACount() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.sraIndex)
+}
+
+// SRAList returns a page of canonical SRA announcements in chain order,
+// starting at offset. It is backed by the incrementally maintained index,
+// so pagination costs O(limit) regardless of chain length. A negative or
+// past-the-end offset yields an empty page; limit <= 0 yields none.
+func (c *Chain) SRAList(offset, limit int) []SRARef {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if offset < 0 || offset >= len(c.sraIndex) || limit <= 0 {
+		return nil
+	}
+	end := offset + limit
+	if end > len(c.sraIndex) {
+		end = len(c.sraIndex)
+	}
+	return append([]SRARef(nil), c.sraIndex[offset:end]...)
 }
 
 // DetectionRecord pairs a report transaction with its canonical receipt —

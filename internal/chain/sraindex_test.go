@@ -1,0 +1,91 @@
+package chain
+
+import (
+	"testing"
+
+	"github.com/smartcrowd/smartcrowd/internal/types"
+)
+
+// namedSRATx releases a distinct SRA (the harness sraTx pins one identity).
+func namedSRATx(h *harness, name string) (*types.Transaction, *types.SRA) {
+	h.t.Helper()
+	sra := &types.SRA{
+		Provider:     h.provider.Address(),
+		Name:         name,
+		Version:      "1.0",
+		SystemHash:   types.HashBytes([]byte(name)),
+		DownloadLink: "sc://releases/" + name,
+		Insurance:    types.EtherAmount(100),
+		Bounty:       types.EtherAmount(5),
+	}
+	if err := types.SignSRA(sra, h.provider); err != nil {
+		h.t.Fatal(err)
+	}
+	tx := types.NewSRATx(sra, h.nextNonce(h.provider.Address()), 2_000_000, testGasPrice)
+	if err := types.SignTx(tx, h.provider); err != nil {
+		h.t.Fatal(err)
+	}
+	return tx, sra
+}
+
+// TestSRAIndexPaginationAndReorg covers the incrementally maintained SRA
+// index behind /v1/sras: ascending block order, offset/limit slicing, and
+// truncate-and-rebuild across a fork switch.
+func TestSRAIndexPaginationAndReorg(t *testing.T) {
+	h := newHarness(t)
+	if got := h.chain.SRACount(); got != 0 {
+		t.Fatalf("fresh chain indexes %d SRAs", got)
+	}
+	if got := h.chain.SRAList(0, 10); len(got) != 0 {
+		t.Fatalf("fresh chain lists %v", got)
+	}
+
+	tx1, sra1 := namedSRATx(h, "fw-one")
+	b1 := h.extend(tx1)
+	tx2, sra2 := namedSRATx(h, "fw-two")
+	h.extend(tx2)
+
+	if got := h.chain.SRACount(); got != 2 {
+		t.Fatalf("SRACount = %d, want 2", got)
+	}
+	list := h.chain.SRAList(0, 10)
+	if len(list) != 2 || list[0].ID != sra1.ID || list[0].BlockNumber != 1 ||
+		list[1].ID != sra2.ID || list[1].BlockNumber != 2 {
+		t.Fatalf("SRAList = %v, want [%s@1 %s@2]", list, sra1.ID.Short(), sra2.ID.Short())
+	}
+
+	// Offset/limit slicing.
+	if got := h.chain.SRAList(1, 10); len(got) != 1 || got[0].ID != sra2.ID {
+		t.Errorf("SRAList(1,10) = %v, want just fw-two", got)
+	}
+	if got := h.chain.SRAList(0, 1); len(got) != 1 || got[0].ID != sra1.ID {
+		t.Errorf("SRAList(0,1) = %v, want just fw-one", got)
+	}
+	if got := h.chain.SRAList(5, 10); len(got) != 0 {
+		t.Errorf("SRAList(5,10) = %v, want empty", got)
+	}
+	if got := h.chain.SRAList(0, 0); len(got) != 0 {
+		t.Errorf("SRAList(0,0) = %v, want empty", got)
+	}
+
+	// Reorg: a heavier branch off block 1 replaces fw-two with fw-three.
+	// The index must drop the orphaned tail and append the new branch.
+	h.nonces = map[types.Address]uint64{h.provider.Address(): 1}
+	tx3, sra3 := namedSRATx(h, "fw-three")
+	fork := h.extendOn(b1.ID(), 3000, tx3)
+	if h.chain.Head().ID() != fork.ID() {
+		t.Fatal("heavier branch did not become head")
+	}
+	if got := h.chain.SRACount(); got != 2 {
+		t.Fatalf("after reorg: SRACount = %d, want 2", got)
+	}
+	list = h.chain.SRAList(0, 10)
+	if len(list) != 2 || list[0].ID != sra1.ID || list[1].ID != sra3.ID || list[1].BlockNumber != 2 {
+		t.Fatalf("after reorg: SRAList = %v, want [%s@1 %s@2]", list, sra1.ID.Short(), sra3.ID.Short())
+	}
+	for _, ref := range list {
+		if ref.ID == sra2.ID {
+			t.Error("orphaned SRA survived the reorg in the index")
+		}
+	}
+}

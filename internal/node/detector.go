@@ -60,7 +60,7 @@ type DetectorNode struct {
 	wallet *wallet.Wallet
 	engine detection.Engine
 	reader ChainReader
-	net    *p2p.Network
+	net    p2p.Transport
 	cfg    DetectorConfig
 
 	nonce    uint64
@@ -69,7 +69,7 @@ type DetectorNode struct {
 }
 
 // NewDetector creates a detector node and joins it to the network.
-func NewDetector(id p2p.NodeID, w *wallet.Wallet, engine detection.Engine, reader ChainReader, net *p2p.Network, cfg DetectorConfig) *DetectorNode {
+func NewDetector(id p2p.NodeID, w *wallet.Wallet, engine detection.Engine, reader ChainReader, net p2p.Transport, cfg DetectorConfig) *DetectorNode {
 	if cfg.GasLimit == 0 {
 		cfg = DefaultDetectorConfig()
 	}

@@ -32,7 +32,7 @@ const maxOrphans = 128
 type ProviderNode struct {
 	id     p2p.NodeID
 	wallet *wallet.Wallet
-	net    *p2p.Network
+	net    p2p.Transport
 
 	mu         sync.Mutex
 	chain      *chain.Chain
@@ -43,8 +43,9 @@ type ProviderNode struct {
 }
 
 // NewProvider creates a provider node with its own chain instance and
-// joins it to the network.
-func NewProvider(id p2p.NodeID, w *wallet.Wallet, cfg chain.Config, net *p2p.Network) (*ProviderNode, error) {
+// joins it to the transport — the simulated bus or a real TCP fabric; the
+// node is transport-agnostic.
+func NewProvider(id p2p.NodeID, w *wallet.Wallet, cfg chain.Config, net p2p.Transport) (*ProviderNode, error) {
 	c, err := chain.New(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("node: provider %s: %w", id, err)
@@ -66,6 +67,20 @@ func NewProvider(id p2p.NodeID, w *wallet.Wallet, cfg chain.Config, net *p2p.Net
 
 // ID returns the node's network identity.
 func (p *ProviderNode) ID() p2p.NodeID { return p.id }
+
+// AttachTransport wires a transport into a node constructed without one.
+// The TCP transport needs the chain's genesis id before it can be built,
+// and the chain lives inside the node — AttachTransport breaks that cycle:
+// create the node with a nil transport, build the transport against
+// Chain().Genesis().ID(), then attach before any messages flow.
+func (p *ProviderNode) AttachTransport(t p2p.Transport) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.net = t
+	if t != nil {
+		t.Join(p.id)
+	}
+}
 
 // Address returns the provider's wallet address (block rewards land here).
 func (p *ProviderNode) Address() types.Address { return p.wallet.Address() }
@@ -180,18 +195,16 @@ func (p *ProviderNode) HandleMessages() {
 				mBlockRequestsSent.Inc()
 				_ = p.net.Send(p.id, msg.From, p2p.Message{
 					Kind:    p2p.MsgBlockRequest,
-					Payload: parentID[:],
+					Payload: p2p.EncodeBlockRequest(parentID),
 				})
 			}
 			p.mu.Unlock()
 		case p2p.MsgBlockRequest:
 			flushTxs()
-			if len(msg.Payload) != types.HashSize {
-				mGossipMalformed.Inc()
-				continue
+			id, err := p2p.ParseBlockRequest(msg.Payload)
+			if err != nil {
+				continue // counted by the shared classified metric
 			}
-			var id types.Hash
-			copy(id[:], msg.Payload)
 			blk, err := p.chain.BlockByID(id)
 			if err != nil {
 				continue // we don't have it either

@@ -1,0 +1,32 @@
+package p2p
+
+import (
+	"testing"
+
+	"github.com/smartcrowd/smartcrowd/internal/types"
+)
+
+func TestBlockRequestRoundTrip(t *testing.T) {
+	id := types.HashBytes([]byte("block-seven"))
+	got, err := ParseBlockRequest(EncodeBlockRequest(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != id {
+		t.Errorf("round trip returned %s, want %s", got.Short(), id.Short())
+	}
+}
+
+func TestParseBlockRequestRejectsBadLengths(t *testing.T) {
+	valid := EncodeBlockRequest(types.Hash{1})
+	for _, bad := range [][]byte{
+		nil,
+		{},
+		valid[:len(valid)-1],
+		append(append([]byte{}, valid...), 0x00),
+	} {
+		if _, err := ParseBlockRequest(bad); err == nil {
+			t.Errorf("payload of %d bytes accepted, want exactly %d", len(bad), types.HashSize)
+		}
+	}
+}

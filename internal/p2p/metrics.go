@@ -8,10 +8,13 @@ var (
 	mBlocked     = telemetry.GetCounter("smartcrowd_p2p_deliveries_total", telemetry.L("outcome", "blocked"))
 	mFanoutPeers = telemetry.GetHistogram("smartcrowd_p2p_broadcast_fanout")
 	mInFlight    = telemetry.GetGauge("smartcrowd_p2p_in_flight")
+
+	mMalformedBlockReq = telemetry.GetCounter("smartcrowd_p2p_malformed_total", telemetry.L("kind", "block-request"))
 )
 
 func init() {
 	telemetry.SetHelp("smartcrowd_p2p_deliveries_total", "gossip deliveries, by outcome (dropped = loss model, blocked = partition)")
 	telemetry.SetHelp("smartcrowd_p2p_broadcast_fanout", "peers reached per Broadcast call")
 	telemetry.SetHelp("smartcrowd_p2p_in_flight", "messages currently queued for future delivery")
+	telemetry.SetHelp("smartcrowd_p2p_malformed_total", "protocol payloads rejected by validation, by kind")
 }

@@ -1,0 +1,9 @@
+package rpc
+
+import "github.com/smartcrowd/smartcrowd/internal/telemetry"
+
+var mLegacyHits = telemetry.GetCounter("smartcrowd_rpc_legacy_requests_total")
+
+func init() {
+	telemetry.SetHelp("smartcrowd_rpc_legacy_requests_total", "requests served via deprecated unprefixed route aliases")
+}

@@ -4,18 +4,29 @@
 // Consumers query release references and balances; detectors submit
 // transactions and fetch light-client proofs.
 //
-// Endpoints:
+// The documented surface lives under the versioned /v1 prefix:
 //
-//	GET  /status                       chain head summary
-//	GET  /block/{number}               canonical block by height
-//	GET  /balance/{address}            account balance (gwei + ether)
-//	GET  /receipt/{txhash}             canonical transaction receipt
-//	GET  /sra/{id}                     SRA record + detection summary
-//	GET  /reference/{id}               consumer security reference
-//	GET  /proof/{txhash}               Merkle inclusion proof for a tx
-//	POST /tx                           submit a hex-encoded transaction
+//	GET  /v1/status                    chain head summary
+//	GET  /v1/block/{number}            canonical block by height
+//	GET  /v1/blocks?from=&to=          bounded block range (≤ 100 blocks)
+//	GET  /v1/balance/{address}         account balance (gwei + ether)
+//	GET  /v1/receipt/{txhash}          canonical transaction receipt
+//	GET  /v1/sra/{id}                  SRA record + detection summary
+//	GET  /v1/sras?offset=&limit=       paginated SRA index (limit ≤ 100)
+//	GET  /v1/reference/{id}            consumer security reference
+//	GET  /v1/proof/{txhash}            Merkle inclusion proof for a tx
+//	POST /v1/tx                        submit a hex-encoded transaction
 //
-// Observability endpoints (see DESIGN.md §7):
+// The original unprefixed paths remain as deprecated aliases: they serve
+// identical responses plus a "Deprecation: true" header and a Link to the
+// /v1 successor. Errors are uniform across every route:
+//
+//	{"error":{"code":"<stable-string>","message":"<human detail>"}}
+//
+// with codes bad_request, not_found, tx_rejected and internal. Clients
+// branch on the code; the message is diagnostic only.
+//
+// Observability endpoints are operational, not part of the versioned API:
 //
 //	GET  /metrics                      Prometheus text exposition
 //	GET  /debug/vars                   expvar JSON (includes "smartcrowd")
@@ -68,14 +79,30 @@ func NewServer(n *node.ProviderNode, c *contract.Contract) *Server {
 // NewServerWith wires the API with explicit configuration.
 func NewServerWith(n *node.ProviderNode, c *contract.Contract, cfg Config) *Server {
 	s := &Server{node: n, contract: c, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /status", s.handleStatus)
-	s.mux.HandleFunc("GET /block/{number}", s.handleBlock)
-	s.mux.HandleFunc("GET /balance/{address}", s.handleBalance)
-	s.mux.HandleFunc("GET /receipt/{txhash}", s.handleReceipt)
-	s.mux.HandleFunc("GET /sra/{id}", s.handleSRA)
-	s.mux.HandleFunc("GET /reference/{id}", s.handleReference)
-	s.mux.HandleFunc("GET /proof/{txhash}", s.handleProof)
-	s.mux.HandleFunc("POST /tx", s.handleSubmitTx)
+
+	// Every route registers twice: canonically under /v1, and at its
+	// historical unprefixed path as a deprecated alias that carries a
+	// Deprecation header pointing clients at the successor.
+	routes := []struct {
+		method, path string
+		h            http.HandlerFunc
+	}{
+		{"GET", "/status", s.handleStatus},
+		{"GET", "/block/{number}", s.handleBlock},
+		{"GET", "/balance/{address}", s.handleBalance},
+		{"GET", "/receipt/{txhash}", s.handleReceipt},
+		{"GET", "/sra/{id}", s.handleSRA},
+		{"GET", "/reference/{id}", s.handleReference},
+		{"GET", "/proof/{txhash}", s.handleProof},
+		{"POST", "/tx", s.handleSubmitTx},
+	}
+	for _, r := range routes {
+		s.mux.HandleFunc(r.method+" /v1"+r.path, r.h)
+		s.mux.HandleFunc(r.method+" "+r.path, deprecatedAlias(r.path, r.h))
+	}
+	// List endpoints are part of the redesign and exist only under /v1.
+	s.mux.HandleFunc("GET /v1/sras", s.handleSRAList)
+	s.mux.HandleFunc("GET /v1/blocks", s.handleBlockList)
 
 	// Observability surface. The metrics registry is process-wide, so
 	// every server mounted in one process serves the same numbers.
@@ -107,9 +134,24 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// errorBody is the uniform error envelope.
-type errorBody struct {
-	Error string `json:"error"`
+// Stable error codes of the /v1 envelope. Clients branch on these; the
+// accompanying message is diagnostic and may change freely.
+const (
+	CodeBadRequest = "bad_request" // malformed path value, query or body
+	CodeNotFound   = "not_found"   // the referenced object is not on the canonical chain
+	CodeTxRejected = "tx_rejected" // a well-formed transaction failed admission
+	CodeInternal   = "internal"    // server-side failure
+)
+
+// ErrorEnvelope is the uniform error response of every route.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// ErrorBody carries a stable machine-readable code plus a human message.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -118,8 +160,22 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
+func writeErr(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, ErrorEnvelope{Error: ErrorBody{Code: code, Message: err.Error()}})
+}
+
+// deprecatedAlias wraps a handler mounted at a legacy unprefixed path: it
+// serves the same response but stamps the RFC 8594 Deprecation header and
+// links the /v1 successor, and counts the hit so operators can see when
+// the aliases stop being used.
+func deprecatedAlias(path string, h http.HandlerFunc) http.HandlerFunc {
+	successor := "/v1" + path
+	return func(w http.ResponseWriter, r *http.Request) {
+		mLegacyHits.Inc()
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+">; rel=\"successor-version\"")
+		h(w, r)
+	}
 }
 
 // StatusResponse summarizes the chain head.
@@ -155,14 +211,19 @@ type BlockResponse struct {
 func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
 	n, err := strconv.ParseUint(r.PathValue("number"), 10, 64)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("rpc: bad block number: %w", err))
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("rpc: bad block number: %w", err))
 		return
 	}
 	blk, err := s.node.Chain().BlockByNumber(n)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeErr(w, http.StatusNotFound, CodeNotFound, err)
 		return
 	}
+	writeJSON(w, http.StatusOK, blockResponse(blk))
+}
+
+// blockResponse summarizes one block for /v1/block and /v1/blocks.
+func blockResponse(blk *types.Block) BlockResponse {
 	resp := BlockResponse{
 		Number:     blk.Header.Number,
 		ID:         blk.ID().String(),
@@ -176,7 +237,7 @@ func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
 	for _, tx := range blk.Txs {
 		resp.TxHashes = append(resp.TxHashes, tx.Hash().String())
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
 // BalanceResponse reports an account balance.
@@ -190,7 +251,7 @@ type BalanceResponse struct {
 func (s *Server) handleBalance(w http.ResponseWriter, r *http.Request) {
 	addr, err := wallet.ParseAddress(r.PathValue("address"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	st := s.node.Chain().State()
@@ -233,12 +294,12 @@ func parseHash(raw string) (types.Hash, error) {
 func (s *Server) handleReceipt(w http.ResponseWriter, r *http.Request) {
 	h, err := parseHash(r.PathValue("txhash"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	receipt, err := s.node.Chain().ReceiptOf(h)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeErr(w, http.StatusNotFound, CodeNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ReceiptResponse{
@@ -268,12 +329,12 @@ type SRAResponse struct {
 func (s *Server) handleSRA(w http.ResponseWriter, r *http.Request) {
 	id, err := parseHash(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	info, err := s.contract.GetSRA(s.node.Chain().State(), id)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeErr(w, http.StatusNotFound, CodeNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, SRAResponse{
@@ -299,13 +360,13 @@ type ReferenceResponse struct {
 func (s *Server) handleReference(w http.ResponseWriter, r *http.Request) {
 	id, err := parseHash(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	consumer := node.NewConsumer(s.node.Chain(), s.contract, 0)
 	ref, err := consumer.Lookup(id)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeErr(w, http.StatusNotFound, CodeNotFound, err)
 		return
 	}
 	by := make(map[string]int, len(ref.BySeverity))
@@ -335,7 +396,7 @@ type ProofResponse struct {
 func (s *Server) handleProof(w http.ResponseWriter, r *http.Request) {
 	h, err := parseHash(r.PathValue("txhash"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	c := s.node.Chain()
@@ -347,7 +408,7 @@ func (s *Server) handleProof(w http.ResponseWriter, r *http.Request) {
 			}
 			proof, err := light.BuildTxProof(blk, i)
 			if err != nil {
-				writeErr(w, http.StatusInternalServerError, err)
+				writeErr(w, http.StatusInternalServerError, CodeInternal, err)
 				return
 			}
 			resp := ProofResponse{
@@ -369,7 +430,128 @@ func (s *Server) handleProof(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	writeErr(w, http.StatusNotFound, errors.New("rpc: transaction not on canonical chain"))
+	writeErr(w, http.StatusNotFound, CodeNotFound, errors.New("rpc: transaction not on canonical chain"))
+}
+
+// Pagination caps for the list endpoints. Both are enforced, not merely
+// suggested: /v1/sras clamps limit to MaxSRAPageSize, and /v1/blocks
+// rejects ranges wider than MaxBlockRangeSize outright.
+const (
+	DefaultSRAPageSize = 25
+	MaxSRAPageSize     = 100
+	MaxBlockRangeSize  = 100
+)
+
+// SRAListResponse is a page of the canonical SRA index.
+type SRAListResponse struct {
+	Total      int           `json:"total"`
+	Offset     int           `json:"offset"`
+	NextOffset *int          `json:"nextOffset"` // null on the last page
+	SRAs       []SRAResponse `json:"sras"`
+}
+
+// parseQueryInt reads an optional non-negative integer query parameter.
+func parseQueryInt(r *http.Request, key string, def int) (int, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("rpc: bad %s %q: want a non-negative integer", key, raw)
+	}
+	return v, nil
+}
+
+func (s *Server) handleSRAList(w http.ResponseWriter, r *http.Request) {
+	offset, err := parseQueryInt(r, "offset", 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+	limit, err := parseQueryInt(r, "limit", DefaultSRAPageSize)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+	if limit > MaxSRAPageSize {
+		limit = MaxSRAPageSize
+	}
+	c := s.node.Chain()
+	st := c.State()
+	refs := c.SRAList(offset, limit)
+	resp := SRAListResponse{
+		Total:  c.SRACount(),
+		Offset: offset,
+		SRAs:   make([]SRAResponse, 0, len(refs)),
+	}
+	for _, ref := range refs {
+		info, err := s.contract.GetSRA(st, ref.ID)
+		if err != nil {
+			// The index and contract state move together under the chain
+			// lock-step; a miss here is a server-side inconsistency.
+			writeErr(w, http.StatusInternalServerError, CodeInternal, err)
+			return
+		}
+		resp.SRAs = append(resp.SRAs, SRAResponse{
+			ID:                 ref.ID.String(),
+			Provider:           info.Provider.String(),
+			InsuranceRemaining: info.InsuranceRemaining.Ether(),
+			BountyEther:        info.Bounty.Ether(),
+			ReleaseBlock:       info.ReleaseBlock,
+			ConfirmedVulns:     info.ConfirmedVulns,
+			Reports:            len(c.DetectionResults(ref.ID)),
+		})
+	}
+	if next := offset + len(refs); len(refs) > 0 && next < resp.Total {
+		resp.NextOffset = &next
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// BlockListResponse is a bounded range of canonical blocks.
+type BlockListResponse struct {
+	From   uint64          `json:"from"`
+	To     uint64          `json:"to"`
+	Head   uint64          `json:"head"`
+	Blocks []BlockResponse `json:"blocks"`
+}
+
+func (s *Server) handleBlockList(w http.ResponseWriter, r *http.Request) {
+	c := s.node.Chain()
+	head := c.HeadNumber()
+	from, err := parseQueryInt(r, "from", 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+	to, err := parseQueryInt(r, "to", int(head))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+	if to < from {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("rpc: bad range: from %d after to %d", from, to))
+		return
+	}
+	if to-from+1 > MaxBlockRangeSize {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("rpc: range %d..%d spans %d blocks, cap is %d", from, to, to-from+1, MaxBlockRangeSize))
+		return
+	}
+	resp := BlockListResponse{From: uint64(from), To: uint64(to), Head: head}
+	for n := from; n <= to; n++ {
+		blk, err := c.BlockByNumber(uint64(n))
+		if err != nil {
+			break // past the head: the range is truncated, not an error
+		}
+		resp.Blocks = append(resp.Blocks, blockResponse(blk))
+	}
+	if len(resp.Blocks) > 0 {
+		resp.To = resp.Blocks[len(resp.Blocks)-1].Number
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // SubmitRequest is the POST /tx body.
@@ -386,26 +568,26 @@ type SubmitResponse struct {
 func (s *Server) handleSubmitTx(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	var req SubmitRequest
 	if err := json.Unmarshal(body, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("rpc: bad request body: %w", err))
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("rpc: bad request body: %w", err))
 		return
 	}
 	raw, err := hex.DecodeString(strings.TrimPrefix(req.TxHex, "0x"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("rpc: bad tx hex: %w", err))
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("rpc: bad tx hex: %w", err))
 		return
 	}
 	tx, err := types.DecodeTx(raw)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	if err := s.node.SubmitTx(tx); err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, http.StatusUnprocessableEntity, CodeTxRejected, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, SubmitResponse{TxHash: tx.Hash().String(), Pooled: true})

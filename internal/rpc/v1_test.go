@@ -1,0 +1,258 @@
+package rpc
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/smartcrowd/smartcrowd/internal/types"
+	"github.com/smartcrowd/smartcrowd/internal/wallet"
+)
+
+func (e *env) getRaw(path string) (*http.Response, []byte) {
+	e.t.Helper()
+	resp, err := http.Get(e.server.URL + path)
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	return resp, body
+}
+
+// releaseSRA signs, submits and mines one more release from alice.
+func (e *env) releaseSRA(name string, nonce uint64) *types.SRA {
+	e.t.Helper()
+	sra := &types.SRA{
+		Provider:     e.alice.Address(),
+		Name:         name,
+		Version:      "1.0",
+		SystemHash:   types.HashBytes([]byte(name)),
+		DownloadLink: "sc://" + name,
+		Insurance:    types.EtherAmount(100),
+		Bounty:       types.EtherAmount(5),
+	}
+	if err := types.SignSRA(sra, e.alice); err != nil {
+		e.t.Fatal(err)
+	}
+	tx := types.NewSRATx(sra, nonce, 2_000_000, 50*types.GWei)
+	if err := types.SignTx(tx, e.alice); err != nil {
+		e.t.Fatal(err)
+	}
+	if err := e.provider.SubmitTx(tx); err != nil {
+		e.t.Fatal(err)
+	}
+	e.mine()
+	return sra
+}
+
+// TestV1RoutesAndDeprecatedAliases walks every migrated route: the /v1
+// path must answer without deprecation markers, the legacy path must serve
+// the identical body plus the Deprecation header and a Link to its
+// successor.
+func TestV1RoutesAndDeprecatedAliases(t *testing.T) {
+	e := newEnv(t)
+	paths := []string{
+		"/status",
+		"/block/1",
+		"/balance/" + e.alice.Address().String(),
+		"/receipt/" + e.dtxHash.String(),
+		"/sra/" + e.sra.ID.String(),
+		"/reference/" + e.sra.ID.String(),
+		"/proof/" + e.dtxHash.String(),
+	}
+	for _, path := range paths {
+		v1Resp, v1Body := e.getRaw("/v1" + path)
+		if v1Resp.StatusCode != http.StatusOK {
+			t.Errorf("GET /v1%s: status %d", path, v1Resp.StatusCode)
+		}
+		if v1Resp.Header.Get("Deprecation") != "" {
+			t.Errorf("GET /v1%s: carries a Deprecation header", path)
+		}
+
+		legacyResp, legacyBody := e.getRaw(path)
+		if legacyResp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, legacyResp.StatusCode)
+		}
+		if legacyResp.Header.Get("Deprecation") != "true" {
+			t.Errorf("GET %s: missing Deprecation header", path)
+		}
+		if link := legacyResp.Header.Get("Link"); !strings.Contains(link, "/v1") ||
+			!strings.Contains(link, `rel="successor-version"`) {
+			t.Errorf("GET %s: Link header %q does not name the /v1 successor", path, link)
+		}
+		if string(v1Body) != string(legacyBody) {
+			t.Errorf("GET %s: legacy body differs from /v1 body", path)
+		}
+	}
+
+	// The legacy POST /tx alias is deprecated too — the marker is stamped
+	// even on error responses.
+	resp, err := http.Post(e.server.URL+"/tx", "application/json", strings.NewReader("not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Error("POST /tx: missing Deprecation header")
+	}
+}
+
+func decodeErrBody(t *testing.T, body []byte) ErrorBody {
+	t.Helper()
+	var env ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("error response %q is not the envelope: %v", body, err)
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("error envelope incomplete: %q", body)
+	}
+	return env.Error
+}
+
+func TestErrorEnvelopeCodes(t *testing.T) {
+	e := newEnv(t)
+	ghost := types.HashBytes([]byte("ghost"))
+	for _, tc := range []struct {
+		path   string
+		status int
+		code   string
+	}{
+		{"/v1/block/notanumber", http.StatusBadRequest, CodeBadRequest},
+		{"/v1/block/99", http.StatusNotFound, CodeNotFound},
+		{"/v1/balance/zzzz", http.StatusBadRequest, CodeBadRequest},
+		{"/v1/receipt/" + ghost.String(), http.StatusNotFound, CodeNotFound},
+		{"/v1/sra/" + ghost.String(), http.StatusNotFound, CodeNotFound},
+		{"/v1/proof/" + ghost.String(), http.StatusNotFound, CodeNotFound},
+		{"/v1/sras?limit=-1", http.StatusBadRequest, CodeBadRequest},
+		{"/v1/blocks?from=9&to=2", http.StatusBadRequest, CodeBadRequest},
+	} {
+		resp, body := e.getRaw(tc.path)
+		if resp.StatusCode != tc.status {
+			t.Errorf("GET %s: status %d, want %d", tc.path, resp.StatusCode, tc.status)
+		}
+		if got := decodeErrBody(t, body); got.Code != tc.code {
+			t.Errorf("GET %s: code %q, want %q", tc.path, got.Code, tc.code)
+		}
+	}
+
+	// A well-formed transaction that fails admission maps to tx_rejected.
+	pauper := wallet.NewDeterministic("pauper")
+	tx := &types.Transaction{
+		Kind:     types.TxTransfer,
+		To:       types.Address{1},
+		Value:    types.EtherAmount(1_000_000),
+		GasLimit: 21_000,
+		GasPrice: 50 * types.GWei,
+	}
+	if err := types.SignTx(tx, pauper); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := json.Marshal(SubmitRequest{TxHex: hex.EncodeToString(types.EncodeTx(tx))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(e.server.URL+"/v1/tx", "application/json", strings.NewReader(string(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("unfunded tx: status %d, want 422", resp.StatusCode)
+	}
+	if got := decodeErrBody(t, body); got.Code != CodeTxRejected {
+		t.Errorf("unfunded tx: code %q, want %q", got.Code, CodeTxRejected)
+	}
+}
+
+func TestSRAListPagination(t *testing.T) {
+	e := newEnv(t)
+	// The env released one SRA (alice nonce 0); add three more.
+	extra := []*types.SRA{
+		e.releaseSRA("fw-two", 1),
+		e.releaseSRA("fw-three", 2),
+		e.releaseSRA("fw-four", 3),
+	}
+
+	var page SRAListResponse
+	if code := e.get("/v1/sras?limit=2", &page); code != http.StatusOK {
+		t.Fatalf("status code %d", code)
+	}
+	if page.Total != 4 || page.Offset != 0 || len(page.SRAs) != 2 {
+		t.Fatalf("first page %+v, want total 4 with 2 entries", page)
+	}
+	if page.NextOffset == nil || *page.NextOffset != 2 {
+		t.Fatalf("first page nextOffset %v, want 2", page.NextOffset)
+	}
+	// Release order: the env SRA landed in block 1, then fw-two in block 4.
+	if page.SRAs[0].ID != e.sra.ID.String() || page.SRAs[0].ReleaseBlock != 1 {
+		t.Errorf("first entry %+v, want the env SRA at block 1", page.SRAs[0])
+	}
+	if page.SRAs[0].Reports != 2 {
+		t.Errorf("env SRA lists %d reports, want 2", page.SRAs[0].Reports)
+	}
+	if page.SRAs[1].ID != extra[0].ID.String() {
+		t.Errorf("second entry %s, want fw-two", page.SRAs[1].ID)
+	}
+
+	if code := e.get("/v1/sras?offset=2&limit=2", &page); code != http.StatusOK {
+		t.Fatalf("status code %d", code)
+	}
+	if len(page.SRAs) != 2 || page.NextOffset != nil {
+		t.Errorf("last page %+v, want 2 entries and null nextOffset", page)
+	}
+	if page.SRAs[1].ID != extra[2].ID.String() {
+		t.Errorf("final entry %s, want fw-four", page.SRAs[1].ID)
+	}
+
+	if code := e.get("/v1/sras?offset=10", &page); code != http.StatusOK {
+		t.Fatalf("status code %d", code)
+	}
+	if len(page.SRAs) != 0 || page.NextOffset != nil || page.Total != 4 {
+		t.Errorf("past-the-end page %+v, want empty with total 4", page)
+	}
+}
+
+func TestBlockListRange(t *testing.T) {
+	e := newEnv(t) // head is block 3
+
+	var page BlockListResponse
+	if code := e.get("/v1/blocks", &page); code != http.StatusOK {
+		t.Fatalf("status code %d", code)
+	}
+	if page.From != 0 || page.To != 3 || page.Head != 3 || len(page.Blocks) != 4 {
+		t.Fatalf("default range %+v, want blocks 0..3", page)
+	}
+
+	if code := e.get("/v1/blocks?from=1&to=2", &page); code != http.StatusOK {
+		t.Fatalf("status code %d", code)
+	}
+	if len(page.Blocks) != 2 || page.Blocks[0].Number != 1 || page.Blocks[1].Number != 2 {
+		t.Errorf("range 1..2 returned %+v", page)
+	}
+
+	// A range reaching past the head truncates; To reports the last block
+	// actually returned.
+	if code := e.get("/v1/blocks?from=2&to=90", &page); code != http.StatusOK {
+		t.Fatalf("status code %d", code)
+	}
+	if len(page.Blocks) != 2 || page.To != 3 {
+		t.Errorf("truncated range %+v, want blocks 2..3 with to=3", page)
+	}
+
+	if code := e.get("/v1/blocks?from=0&to=200", nil); code != http.StatusBadRequest {
+		t.Errorf("oversized range returned %d, want 400", code)
+	}
+
+	// The list endpoints are part of the redesign: no legacy alias exists.
+	if code := e.get("/blocks", nil); code != http.StatusNotFound {
+		t.Errorf("legacy /blocks returned %d, want 404", code)
+	}
+}

@@ -1,0 +1,158 @@
+package wire
+
+import (
+	"testing"
+	"time"
+
+	"github.com/smartcrowd/smartcrowd/internal/chain"
+	"github.com/smartcrowd/smartcrowd/internal/contract"
+	"github.com/smartcrowd/smartcrowd/internal/detection"
+	"github.com/smartcrowd/smartcrowd/internal/node"
+	"github.com/smartcrowd/smartcrowd/internal/p2p"
+	"github.com/smartcrowd/smartcrowd/internal/types"
+	"github.com/smartcrowd/smartcrowd/internal/wallet"
+)
+
+// wireNode is one in-process "process": a full provider node attached to
+// its own TCP transport, exactly as cmd/smartcrowd's node command wires
+// them, just without the OS-process boundary so the test can drive message
+// pumping deterministically.
+type wireNode struct {
+	prov *node.ProviderNode
+	tr   *Transport
+}
+
+func newWireNode(t *testing.T, id string, peers ...string) *wireNode {
+	t.Helper()
+	cfg := chain.DefaultConfig(contract.New(contract.DefaultParams(), detection.NewGroundTruthVerifier(false)))
+	cfg.SkipPoWCheck = true // mining is stamped, not ground, in this test
+	prov, err := node.NewProvider(p2p.NodeID(id), wallet.NewDeterministic(id), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(Config{
+		NodeID:     p2p.NodeID(id),
+		ListenAddr: "127.0.0.1:0",
+		Genesis:    prov.Chain().Genesis().ID(),
+		Peers:      peers,
+		Head: func() (types.Hash, uint64) {
+			head := prov.Chain().Head()
+			return head.ID(), head.Header.Number
+		},
+		HandshakeTimeout: 2 * time.Second,
+		ReadTimeout:      2 * time.Second,
+		WriteTimeout:     2 * time.Second,
+		DialBackoffMin:   20 * time.Millisecond,
+		DialBackoffMax:   200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	prov.AttachTransport(tr)
+	tr.Start()
+	return &wireNode{prov: prov, tr: tr}
+}
+
+// pumpUntilConverged drives every node's message loop until all chains
+// report the same head at the wanted height.
+func pumpUntilConverged(t *testing.T, nodes []*wireNode, height uint64, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		for _, n := range nodes {
+			n.prov.HandleMessages()
+		}
+		head := nodes[0].prov.Chain().Head()
+		converged := head.Header.Number == height
+		for _, n := range nodes[1:] {
+			if n.prov.Chain().Head().ID() != head.ID() {
+				converged = false
+			}
+		}
+		if converged {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, n := range nodes {
+		h := n.prov.Chain().Head()
+		t.Logf("node %s: head %d (%s)", n.prov.ID(), h.Header.Number, h.ID().Short())
+	}
+	t.Fatalf("nodes did not converge at height %d", height)
+}
+
+// TestThreeNodeConvergence is the tentpole's headline proof: three nodes
+// gossip over real TCP sockets to a common head, one is killed and the
+// network advances without it, and a replacement node for the same
+// identity rejoins, sync-kicks off the handshake head advertisement, and
+// backfills to the canonical chain.
+func TestThreeNodeConvergence(t *testing.T) {
+	n1 := newWireNode(t, "n1")
+	n2 := newWireNode(t, "n2", n1.tr.Addr())
+	n3 := newWireNode(t, "n3", n1.tr.Addr(), n2.tr.Addr())
+	all := []*wireNode{n1, n2, n3}
+
+	waitFor(t, 5*time.Second, func() bool {
+		return hasPeer(n1.tr, "n2") && hasPeer(n1.tr, "n3") &&
+			hasPeer(n2.tr, "n1") && hasPeer(n2.tr, "n3") &&
+			hasPeer(n3.tr, "n1") && hasPeer(n3.tr, "n2")
+	}, "full mesh")
+
+	// Phase 1: n1 mines, everyone follows.
+	ts := uint64(1_000)
+	const difficulty = 1_000
+	for i := 0; i < 3; i++ {
+		ts++
+		if _, err := n1.prov.MineBlock(ts, difficulty, 0, 0); err != nil {
+			t.Fatalf("mine block %d: %v", i+1, err)
+		}
+	}
+	pumpUntilConverged(t, all, 3, 10*time.Second)
+
+	// Phase 2: partition — kill n3's transport, network keeps advancing.
+	n3.tr.Close()
+	waitFor(t, 5*time.Second, func() bool { return !hasPeer(n1.tr, "n3") && !hasPeer(n2.tr, "n3") }, "n3 gone")
+	for i := 0; i < 3; i++ {
+		ts++
+		if _, err := n1.prov.MineBlock(ts, difficulty, 0, 0); err != nil {
+			t.Fatalf("mine block %d: %v", i+4, err)
+		}
+	}
+	pumpUntilConverged(t, []*wireNode{n1, n2}, 6, 10*time.Second)
+	if got := n3.prov.Chain().HeadNumber(); got != 3 {
+		t.Fatalf("partitioned node advanced to %d, want 3", got)
+	}
+
+	// Phase 3: rejoin — a fresh transport for n3 dials back in. The
+	// handshake advertises n1's head, the sync kick requests it, and the
+	// orphan backfill pulls blocks 4–6 without any new mining.
+	tr3b, err := New(Config{
+		NodeID:     "n3",
+		ListenAddr: "127.0.0.1:0",
+		Genesis:    n3.prov.Chain().Genesis().ID(),
+		Peers:      []string{n1.tr.Addr()},
+		Head: func() (types.Hash, uint64) {
+			head := n3.prov.Chain().Head()
+			return head.ID(), head.Header.Number
+		},
+		HandshakeTimeout: 2 * time.Second,
+		ReadTimeout:      2 * time.Second,
+		WriteTimeout:     2 * time.Second,
+		DialBackoffMin:   20 * time.Millisecond,
+		DialBackoffMax:   200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr3b.Close() })
+	n3.prov.AttachTransport(tr3b)
+	n3.tr = tr3b
+	tr3b.Start()
+
+	pumpUntilConverged(t, all, 6, 10*time.Second)
+	want := n1.prov.Chain().Head().ID()
+	if got := n3.prov.Chain().Head().ID(); got != want {
+		t.Fatalf("rejoined node head %s, want %s", got.Short(), want.Short())
+	}
+}

@@ -1,0 +1,146 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"github.com/smartcrowd/smartcrowd/internal/p2p"
+)
+
+// TestFrameRoundTrip is the codec property test: random kinds and payload
+// sizes (including empty and max-size) survive encode→decode bit-for-bit,
+// and back-to-back frames on one stream decode in order.
+func TestFrameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var buf bytes.Buffer
+	var want []Frame
+	for i := 0; i < 200; i++ {
+		size := rng.Intn(4096)
+		switch i {
+		case 0:
+			size = 0
+		case 1:
+			size = MaxFramePayload
+		}
+		payload := make([]byte, size)
+		rng.Read(payload)
+		f := Frame{Kind: p2p.MsgKind(1 + rng.Intn(3)), Payload: payload}
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatalf("frame %d: write: %v", i, err)
+		}
+		want = append(want, f)
+	}
+	for i, w := range want {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: read: %v", i, err)
+		}
+		if got.Kind != w.Kind || !bytes.Equal(got.Payload, w.Payload) {
+			t.Fatalf("frame %d: round trip mismatch", i)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Errorf("%d trailing bytes after decoding all frames", buf.Len())
+	}
+}
+
+func encodeValid(t *testing.T, f Frame) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadFrameRejectsGarbageMagic(t *testing.T) {
+	raw := encodeValid(t, Frame{Kind: p2p.MsgTx, Payload: []byte("x")})
+	raw[0] = 'X'
+	if _, err := ReadFrame(bytes.NewReader(raw)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReadFrameRejectsVersionMismatch(t *testing.T) {
+	raw := encodeValid(t, Frame{Kind: p2p.MsgTx, Payload: []byte("x")})
+	raw[4] = ProtocolVersion + 1
+	if _, err := ReadFrame(bytes.NewReader(raw)); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestReadFrameRejectsOversizedDeclaredLength(t *testing.T) {
+	raw := encodeValid(t, Frame{Kind: p2p.MsgBlock, Payload: []byte("x")})
+	binary.BigEndian.PutUint32(raw[6:], MaxFramePayload+1)
+	if _, err := ReadFrame(bytes.NewReader(raw)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestWriteFrameRefusesOversizedPayload(t *testing.T) {
+	err := WriteFrame(io.Discard, Frame{Kind: p2p.MsgBlock, Payload: make([]byte, MaxFramePayload+1)})
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameTruncation(t *testing.T) {
+	full := encodeValid(t, Frame{Kind: p2p.MsgBlock, Payload: bytes.Repeat([]byte("ab"), 64)})
+	for _, cut := range []int{1, headerSize - 1, headerSize, headerSize + 5, len(full) - 1} {
+		_, err := ReadFrame(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Errorf("cut at %d decoded successfully", cut)
+		}
+	}
+}
+
+// TestReadFrameGarbageNeverPanics feeds random byte streams through the
+// decoder: every outcome must be a clean error or a valid frame, never a
+// panic or a runaway allocation.
+func TestReadFrameGarbageNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		raw := make([]byte, rng.Intn(256))
+		rng.Read(raw)
+		r := bytes.NewReader(raw)
+		for {
+			if _, err := ReadFrame(r); err != nil {
+				break
+			}
+		}
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := hello{NodeID: "node@10.0.0.1:9470", HeadNumber: 42}
+	for i := range h.Genesis {
+		h.Genesis[i] = byte(i)
+		h.HeadID[i] = byte(255 - i)
+	}
+	got, err := decodeHello(encodeHello(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("round trip: got %+v, want %+v", got, h)
+	}
+}
+
+func TestDecodeHelloRejectsMalformed(t *testing.T) {
+	valid := encodeHello(hello{NodeID: "n1"})
+	for name, raw := range map[string][]byte{
+		"empty":        {},
+		"short":        valid[:len(valid)-3],
+		"trailing":     append(append([]byte{}, valid...), 0xff),
+		"zero-id":      encodeHello(hello{}),
+		"oversized-id": encodeHello(hello{NodeID: p2p.NodeID(bytes.Repeat([]byte("a"), maxNodeIDLen+1))}),
+	} {
+		if _, err := decodeHello(raw); !errors.Is(err, ErrBadHello) {
+			t.Errorf("%s: err = %v, want ErrBadHello", name, err)
+		}
+	}
+}
