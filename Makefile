@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench telemetry-budget
+.PHONY: all build test check fmt vet lint fuzz-smoke race bench telemetry-budget
 
 all: build test
 
@@ -10,9 +10,28 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the pre-commit gate: formatting, static analysis, the full
-# suite under the race detector, and the telemetry overhead budget.
-check: fmt vet race telemetry-budget
+# check is the pre-commit gate: formatting, static analysis (generic vet
+# plus the project-specific scvet passes), the full suite under the race
+# detector, and the telemetry overhead budget.
+check: fmt vet lint race telemetry-budget
+
+# lint runs scvet, the project-specific analyzer enforcing the invariants
+# generic linters cannot see: consensus determinism (detsource),
+# errors.Is discipline (senterr), crypto-free mutex critical sections
+# (locksafe), stable /metrics names (metricname), and bounded
+# network-sized allocations (boundalloc). Audited exceptions live in
+# .scvet.allow with their justifications; see DESIGN.md §9.
+lint:
+	$(GO) run ./cmd/scvet ./...
+
+# fuzz-smoke runs each attacker-facing decoder's native fuzz target
+# briefly (frames and handshakes off the TCP wire, RLP off gossip).
+# Override FUZZTIME for longer local campaigns.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzReadFrame -fuzztime=$(FUZZTIME) -run NONE ./internal/wire/
+	$(GO) test -fuzz=FuzzParseHandshake -fuzztime=$(FUZZTIME) -run NONE ./internal/wire/
+	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) -run NONE ./internal/rlp/
 
 fmt:
 	@unformatted=$$(gofmt -l .); \

@@ -1,0 +1,105 @@
+// Command scvet runs SmartCrowd's project-specific static-analysis
+// passes over the module and exits non-zero on findings. It is the
+// machine check behind the invariants the last four PRs established by
+// hand: consensus determinism (detsource), errors.Is discipline
+// (senterr), crypto-free critical sections (locksafe), stable /metrics
+// names (metricname), and bounded network-sized allocations (boundalloc).
+//
+// Usage:
+//
+//	scvet [-allow file] [-list] [packages]
+//
+// Packages default to ./... . Audited exceptions live in .scvet.allow at
+// the module root (see internal/analysis.Allowlist for the format);
+// stale entries are reported as warnings so the allowlist cannot rot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"github.com/smartcrowd/smartcrowd/internal/analysis"
+)
+
+func main() {
+	allowPath := flag.String("allow", "", "allowlist file (default <module root>/.scvet.allow)")
+	list := flag.Bool("list", false, "print the pass catalog and exit")
+	flag.Parse()
+
+	if *list {
+		for _, p := range analysis.Passes() {
+			fmt.Printf("%-12s %s\n", p.Name, p.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root := moduleRoot(cwd)
+	if *allowPath == "" {
+		*allowPath = filepath.Join(root, ".scvet.allow")
+	}
+	allow, err := analysis.LoadAllowlist(*allowPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	pkgs, err := analysis.Load(cwd, flag.Args()...)
+	if err != nil {
+		fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "scvet: warning: %s: type error: %v\n", pkg.ImportPath, terr)
+		}
+	}
+
+	findings, suppressed := allow.Filter(analysis.RunAll(pkgs))
+	for _, f := range findings {
+		f.Pos.Filename = relPath(root, f.Pos.Filename)
+		fmt.Println(f)
+	}
+	for _, e := range allow.Unused() {
+		fmt.Fprintf(os.Stderr, "scvet: warning: %s:%d: allowlist entry matched nothing (stale?): %s %s %q\n",
+			*allowPath, e.Line, e.Pass, e.FileSuffix, e.MsgSub)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "scvet: %d finding(s), %d suppressed by allowlist\n", len(findings), suppressed)
+		os.Exit(1)
+	}
+	if suppressed > 0 {
+		fmt.Fprintf(os.Stderr, "scvet: clean (%d audited exception(s) suppressed)\n", suppressed)
+	}
+}
+
+// moduleRoot resolves the enclosing module's directory via the go tool,
+// falling back to dir when outside a module.
+func moduleRoot(dir string) string {
+	cmd := exec.Command("go", "env", "GOMOD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	gomod := strings.TrimSpace(string(out))
+	if err != nil || gomod == "" || gomod == os.DevNull {
+		return dir
+	}
+	return filepath.Dir(gomod)
+}
+
+// relPath shortens filenames under root for stable, readable output.
+func relPath(root, name string) string {
+	if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return name
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scvet:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// wirePkgs are the packages that decode attacker-controlled bytes: the
+// TCP framing layer, the p2p message codecs, and RLP. PR 4's framing
+// validates a declared length against MaxFramePayload before allocating;
+// this pass makes that discipline structural.
+var wirePkgs = []string{
+	"internal/wire",
+	"internal/p2p",
+	"internal/rlp",
+}
+
+// passBoundalloc flags `make([]T, n)` (and the capacity argument) in
+// network-decoding packages when n is a runtime value with no dominating
+// bound check. A size is considered bounded when it is a constant,
+// derives from len/cap of data already in memory, or every variable
+// feeding it appears in a comparison inside an earlier if-condition in
+// the same function (the reject-before-allocate idiom). Everything else
+// is a remote peer choosing our allocation size.
+var passBoundalloc = &Pass{
+	Name: "boundalloc",
+	Doc:  "slice allocations sized by decoded input need a dominating bound check in wire/p2p/rlp",
+	Run:  runBoundalloc,
+}
+
+func runBoundalloc(p *Package) []Finding {
+	if !hasPathSuffix(p.ImportPath, wirePkgs...) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			out = append(out, boundallocFunc(p, fn.Body)...)
+		}
+	}
+	return out
+}
+
+// guard is an if-condition that compares some variables: the canonical
+// `if n > bound { return err }` shape dominating a later allocation.
+type guard struct {
+	pos  token.Pos
+	vars map[*types.Var]bool
+}
+
+func boundallocFunc(p *Package, body *ast.BlockStmt) []Finding {
+	var guards []guard
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		vars := comparedVars(p, ifStmt.Cond)
+		if len(vars) > 0 {
+			guards = append(guards, guard{pos: ifStmt.Pos(), vars: vars})
+		}
+		return true
+	})
+
+	var out []Finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return true
+		}
+		if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		t := p.Info.TypeOf(call.Args[0])
+		if t == nil {
+			return true
+		}
+		if _, isSlice := t.Underlying().(*types.Slice); !isSlice {
+			return true // chans and maps size lazily; slices allocate eagerly
+		}
+		for _, sizeArg := range call.Args[1:] {
+			for _, v := range riskVars(p, sizeArg) {
+				if guardedBefore(guards, v, call.Pos()) {
+					continue
+				}
+				out = append(out, p.finding("boundalloc", sizeArg,
+					"make size depends on %q with no dominating bound check; a remote peer picks this allocation — cap it first", v.Name()))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// comparedVars collects the variables that participate in an ordering or
+// equality comparison anywhere in cond.
+func comparedVars(p *Package, cond ast.Expr) map[*types.Var]bool {
+	vars := map[*types.Var]bool{}
+	ast.Inspect(cond, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch bin.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return true
+		}
+		for _, side := range []ast.Expr{bin.X, bin.Y} {
+			ast.Inspect(side, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if v := varObj(p.Info, id); v != nil {
+						vars[v] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return vars
+}
+
+// riskVars returns the variables a size expression depends on, excluding
+// anything already proven safe: constant expressions contribute nothing,
+// and arguments of len/cap are measurements of data we already hold, not
+// attacker input.
+func riskVars(p *Package, size ast.Expr) []*types.Var {
+	if tv, ok := p.Info.Types[size]; ok && tv.Value != nil {
+		return nil // compile-time constant
+	}
+	var lenArgs []ast.Node
+	ast.Inspect(size, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+			if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+				for _, a := range call.Args {
+					lenArgs = append(lenArgs, a)
+				}
+			}
+		}
+		return true
+	})
+	inLenArg := func(pos token.Pos) bool {
+		for _, a := range lenArgs {
+			if a.Pos() <= pos && pos < a.End() {
+				return true
+			}
+		}
+		return false
+	}
+	seen := map[*types.Var]bool{}
+	var out []*types.Var
+	ast.Inspect(size, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || inLenArg(id.Pos()) {
+			return true
+		}
+		if v := varObj(p.Info, id); v != nil && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+		return true
+	})
+	return out
+}
+
+func guardedBefore(guards []guard, v *types.Var, before token.Pos) bool {
+	for _, g := range guards {
+		if g.pos < before && g.vars[v] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// The fixture harness is a hand-rolled analysistest: each pass has a
+// package under testdata/src/<pass>/ whose files carry
+//
+//	<code> // want `regex`
+//
+// comments on every line the pass must flag. runFixture loads the
+// package as-if it had the given import path, runs exactly one pass, and
+// requires a 1:1 match between findings and want annotations — missing
+// findings, unexpected findings, and non-matching messages all fail.
+
+var wantRE = regexp.MustCompile("// want `([^`]+)`")
+
+// writeFile is a tiny test helper for allowlist files.
+func writeFile(t *testing.T, path, content string) error {
+	t.Helper()
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// expectation is one want annotation.
+type expectation struct {
+	file string // basename
+	line int
+	re   *regexp.Regexp
+}
+
+func parseWants(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					pos := pkg.Fset.Position(c.Pos())
+					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &expectation{
+					file: filepath.Base(pos.Filename),
+					line: pos.Line,
+					re:   re,
+				})
+			}
+		}
+	}
+	return wants
+}
+
+// loadFixture loads testdata/src/<name> as-if it were asPath.
+func loadFixture(t *testing.T, name, asPath string) *Package {
+	t.Helper()
+	moduleDir, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(moduleDir, filepath.Join("testdata", "src", name), asPath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s: type error: %v", name, terr)
+	}
+	return pkg
+}
+
+// runFixture executes one pass over its fixture and diffs findings
+// against the want annotations. It returns the findings for further
+// assertions (the allowlist test reuses them).
+func runFixture(t *testing.T, passName, asPath string) []Finding {
+	t.Helper()
+	pass := PassByName(passName)
+	if pass == nil {
+		t.Fatalf("unknown pass %q", passName)
+	}
+	pkg := loadFixture(t, passName, asPath)
+	findings := pass.Run(pkg)
+	wants := parseWants(t, pkg)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want annotations", passName)
+	}
+
+	matched := make([]bool, len(findings))
+	for _, want := range wants {
+		found := false
+		for i, f := range findings {
+			if matched[i] || filepath.Base(f.Pos.Filename) != want.file || f.Pos.Line != want.line {
+				continue
+			}
+			if !want.re.MatchString(f.Msg) {
+				t.Errorf("%s:%d: finding %q does not match want `%s`",
+					want.file, want.line, f.Msg, want.re)
+			}
+			matched[i] = true
+			found = true
+			break
+		}
+		if !found {
+			t.Errorf("%s:%d: no [%s] finding; want `%s`", want.file, want.line, passName, want.re)
+		}
+	}
+	for i, f := range findings {
+		if !matched[i] {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	if len(findings) != len(wants) {
+		t.Errorf("fixture %s: %d findings, %d want annotations", passName, len(findings), len(wants))
+	}
+	// Every finding must render in the file:line: [pass] message shape
+	// scvet prints.
+	for _, f := range findings {
+		rendered := f.String()
+		wantShape := fmt.Sprintf(":%d: [%s] ", f.Pos.Line, f.Pass)
+		if !regexp.MustCompile(regexp.QuoteMeta(wantShape)).MatchString(rendered) {
+			t.Errorf("finding %q missing canonical `file:line: [pass]` shape", rendered)
+		}
+	}
+	return findings
+}

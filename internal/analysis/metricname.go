@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// passMetricname keeps the /metrics surface stable: every
+// telemetry.GetCounter/GetGauge/GetHistogram/SetHelp name must be a
+// snake_case string literal of the form smartcrowd_<subsystem>_<name>
+// with an optional _unit suffix, and handle resolution must happen at
+// package scope (a package-level var initializer or func init), so the
+// full metric family is registered — and visible in /metrics with zero
+// values — before any traffic. Names built at runtime or registered
+// lazily drift between builds and break dashboards.
+var passMetricname = &Pass{
+	Name: "metricname",
+	Doc:  "telemetry names are snake_case smartcrowd_<subsystem>_<name>[_unit] literals registered at package init",
+	Run:  runMetricname,
+}
+
+// metricNameRE: the smartcrowd_ prefix plus at least subsystem and name
+// segments, all lower-snake.
+var metricNameRE = regexp.MustCompile(`^smartcrowd(_[a-z][a-z0-9]*){2,}$`)
+
+// metricFuncs are the registry entry points whose first argument is a
+// metric name.
+var metricFuncs = map[string]bool{
+	"GetCounter": true, "GetGauge": true, "GetHistogram": true, "SetHelp": true,
+}
+
+func runMetricname(p *Package) []Finding {
+	if hasPathSuffix(p.ImportPath, "internal/telemetry") {
+		return nil // the registry implementation itself
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		regions := initRegions(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !metricFuncs[sel.Sel.Name] {
+				return true
+			}
+			if !strings.HasSuffix(calleePkgPath(p.Info, call), "internal/telemetry") {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				out = append(out, p.finding("metricname", call.Args[0],
+					"telemetry.%s name must be a string literal, not a computed value", sel.Sel.Name))
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err == nil && !metricNameRE.MatchString(name) {
+				out = append(out, p.finding("metricname", lit,
+					"metric name %q must match smartcrowd_<subsystem>_<name>[_unit] (lower snake_case)", name))
+			}
+			// SetHelp annotates an already-registered family; only handle
+			// resolution is pinned to package init.
+			if sel.Sel.Name != "SetHelp" && !inRegions(regions, call.Pos()) {
+				out = append(out, p.finding("metricname", call,
+					"telemetry.%s outside a package-level var or init; register at package init so /metrics is stable", sel.Sel.Name))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// region is a half-open source span.
+type region struct{ from, to token.Pos }
+
+// initRegions returns the file spans where metric registration is
+// allowed: top-level var declarations and init function bodies.
+func initRegions(file *ast.File) []region {
+	var out []region
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.GenDecl:
+			if d.Tok == token.VAR {
+				out = append(out, region{d.Pos(), d.End()})
+			}
+		case *ast.FuncDecl:
+			if d.Name.Name == "init" && d.Recv == nil && d.Body != nil {
+				out = append(out, region{d.Body.Pos(), d.Body.End()})
+			}
+		}
+	}
+	return out
+}
+
+func inRegions(regions []region, pos token.Pos) bool {
+	for _, r := range regions {
+		if r.from <= pos && pos < r.to {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+)
+
+// passSenterr flags sentinel-error comparison with == or != (including
+// `switch err { case ErrX: }`), the exact bug class PR 2 fixed when
+// wrapped ErrKnownBlock values stopped matching an equality check in the
+// node's gossip import path. Wrapped errors only match through errors.Is.
+var passSenterr = &Pass{
+	Name: "senterr",
+	Doc:  "sentinel errors must be matched with errors.Is, not == / != / switch-case",
+	Run:  runSenterr,
+}
+
+// sentinelName matches the conventional sentinel spellings: exported
+// ErrFoo and unexported errFoo package variables.
+var sentinelName = regexp.MustCompile(`^(Err[A-Z0-9]|err[A-Z])`)
+
+func runSenterr(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isNilIdent(p.Info, n.X) || isNilIdent(p.Info, n.Y) {
+					return true // err != nil is the one legitimate equality
+				}
+				name, ok := sentinelOperand(p, n.X)
+				if !ok {
+					name, ok = sentinelOperand(p, n.Y)
+				}
+				if !ok {
+					return true
+				}
+				out = append(out, p.finding("senterr", n,
+					"sentinel error %s compared with %s; wrapped errors will not match — use errors.Is", name, n.Op))
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !isErrorType(p.Info.TypeOf(n.Tag)) {
+					return true
+				}
+				for _, stmt := range n.Body.List {
+					clause, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, v := range clause.List {
+						if name, ok := sentinelOperand(p, v); ok {
+							out = append(out, p.finding("senterr", v,
+								"switch on an error value compares %s with ==; use an errors.Is chain", name))
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// sentinelOperand reports whether e names a sentinel error variable
+// (ErrFoo / errFoo spelling, error-typed), returning its display name.
+func sentinelOperand(p *Package, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	display := ""
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id, display = e, e.Name
+	case *ast.SelectorExpr:
+		// Qualified sentinel: pkg.ErrFoo.
+		if importedPkgPath(p.Info, e.X) == "" {
+			return "", false
+		}
+		id = e.Sel
+		if x, ok := e.X.(*ast.Ident); ok {
+			display = x.Name + "." + e.Sel.Name
+		} else {
+			display = e.Sel.Name
+		}
+	default:
+		return "", false
+	}
+	if !sentinelName.MatchString(id.Name) {
+		return "", false
+	}
+	if varObj(p.Info, id) == nil || !isErrorType(p.Info.TypeOf(e)) {
+		return "", false
+	}
+	return display, true
+}

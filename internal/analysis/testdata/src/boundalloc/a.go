@@ -1,0 +1,50 @@
+// Fixture for the boundalloc pass. Loaded as-if it were internal/wire:
+// slice allocations sized by decoded input need a dominating bound
+// check.
+package fixalloc
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+const maxPayload = 8 << 20
+
+var errTooLarge = errors.New("fixture: too large")
+
+// badDecode allocates whatever length the peer declared.
+func badDecode(hdr []byte, r io.Reader) ([]byte, error) {
+	length := binary.BigEndian.Uint32(hdr)
+	buf := make([]byte, length) // want `make size depends on "length" with no dominating bound check`
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// badCap hides the peer-chosen size in the capacity argument.
+func badCap(n int) []byte {
+	return make([]byte, 0, n) // want `make size depends on "n" with no dominating bound check`
+}
+
+// goodBounded rejects oversized declarations before allocating.
+func goodBounded(hdr []byte, r io.Reader) ([]byte, error) {
+	length := binary.BigEndian.Uint32(hdr)
+	if length > maxPayload {
+		return nil, errTooLarge
+	}
+	buf := make([]byte, length)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// goodLen sizes from data already in memory; no finding.
+func goodLen(payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+16)
+	return append(out, payload...)
+}
+
+// goodConst allocates a fixed header; no finding.
+func goodConst() []byte { return make([]byte, 32) }
+
+// goodChan: channels size lazily, only slices allocate eagerly.
+func goodChan(n int) chan []byte { return make(chan []byte, n) }

@@ -1,0 +1,73 @@
+// Fixture for the detsource pass. Loaded as-if it were the
+// consensus-critical internal/chain package; clock.go in this directory
+// is the allowed shim file.
+package fixchain
+
+import (
+	"crypto/sha256"
+	"math/rand" // want `import of math/rand in consensus-critical package`
+	"sort"
+	"time"
+)
+
+// badClock reads the wall clock directly instead of going through the
+// clock.go shim.
+func badClock() int64 {
+	t0 := time.Now()   // want `raw time\.Now in consensus-critical package`
+	_ = time.Since(t0) // want `raw time\.Since in consensus-critical package`
+	return t0.UnixNano()
+}
+
+// goodClock uses the shim; no finding.
+func goodClock() int64 { return nowNanos() }
+
+func badRand() int { return rand.Int() }
+
+// badMapOrder streams map entries into a hash in iteration order.
+func badMapOrder(m map[string]uint64) [32]byte {
+	h := sha256.New()
+	for k := range m {
+		h.Write([]byte(k)) // want `map iteration order flows into a stream write`
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// badMapAppend collects keys into an outer slice and never sorts them.
+func badMapAppend(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // want `map iteration order flows into keys`
+	}
+	return keys
+}
+
+// goodMapSorted is the canonical collect-then-sort idiom; no finding.
+func goodMapSorted(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodLoopLocal accumulates into a loop-local value whose order cannot
+// escape; no finding.
+func goodLoopLocal(m map[string]uint64) uint64 {
+	var total uint64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// goodSliceRange ranges over a slice, which is ordered; no finding.
+func goodSliceRange(keys []string) []string {
+	out := []string{}
+	for _, k := range keys {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,7 @@
+package fixchain
+
+import "time"
+
+// clock.go is the audited shim file: raw wall-clock reads here are
+// allowed by detsource, mirroring pow/clock.go.
+func nowNanos() int64 { return time.Now().UnixNano() }

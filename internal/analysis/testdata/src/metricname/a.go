@@ -1,0 +1,39 @@
+// Fixture for the metricname pass: telemetry names are snake_case
+// smartcrowd_<subsystem>_<name>[_unit] literals registered at package
+// init.
+package fixmetric
+
+import "github.com/smartcrowd/smartcrowd/internal/telemetry"
+
+// Package-level handles with conforming literal names; no findings.
+var (
+	mGood      = telemetry.GetCounter("smartcrowd_fixture_events_total")
+	mGoodGauge = telemetry.GetGauge("smartcrowd_fixture_depth")
+)
+
+var mBadCase = telemetry.GetCounter("smartcrowd_Fixture_Events") // want `must match smartcrowd_<subsystem>_<name>`
+
+var mBadPrefix = telemetry.GetCounter("fixture_events_total") // want `must match smartcrowd_<subsystem>_<name>`
+
+var mBadShort = telemetry.GetGauge("smartcrowd_depth") // want `must match smartcrowd_<subsystem>_<name>`
+
+var dynamicName = "smartcrowd_fixture_runtime_total"
+
+var mBadComputed = telemetry.GetCounter(dynamicName) // want `name must be a string literal`
+
+func init() {
+	telemetry.SetHelp("smartcrowd_fixture_events_total", "fixture events")
+	telemetry.SetHelp("not snake", "bad")                       // want `must match smartcrowd_<subsystem>_<name>`
+	_ = telemetry.GetHistogram("smartcrowd_fixture_latency_ns") // init registration is fine
+}
+
+// lazyRegister resolves a handle at call time, outside package init.
+func lazyRegister() {
+	_ = telemetry.GetHistogram("smartcrowd_fixture_lazy_ns") // want `outside a package-level var or init`
+	_ = mGood
+	_ = mGoodGauge
+	_ = mBadCase
+	_ = mBadPrefix
+	_ = mBadShort
+	_ = mBadComputed
+}

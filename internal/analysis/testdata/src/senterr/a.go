@@ -1,0 +1,52 @@
+// Fixture for the senterr pass: sentinel errors must be matched with
+// errors.Is, never == / != / switch-case.
+package fixerr
+
+import (
+	"errors"
+	"io"
+)
+
+var ErrKnown = errors.New("fixture: known")
+
+var errPrivate = errors.New("fixture: private")
+
+// ErrCode is sentinel-named but not an error; no finding.
+var ErrCode = 42
+
+func bad(err error) bool {
+	if err == ErrKnown { // want `sentinel error ErrKnown compared with ==`
+		return true
+	}
+	if err != errPrivate { // want `sentinel error errPrivate compared with !=`
+		return false
+	}
+	return err == io.ErrUnexpectedEOF // want `sentinel error io\.ErrUnexpectedEOF compared with ==`
+}
+
+func badSwitch(err error) string {
+	switch err {
+	case ErrKnown: // want `switch on an error value compares ErrKnown with ==`
+		return "known"
+	case nil:
+		return "ok"
+	}
+	return "other"
+}
+
+func good(err error) bool {
+	if err == nil || err != nil { // nil checks are fine
+		_ = err
+	}
+	if errors.Is(err, ErrKnown) { // the correct idiom
+		return true
+	}
+	if ErrCode == 42 { // sentinel-named non-error; no finding
+		return true
+	}
+	switch { // tagless switch with errors.Is; no finding
+	case errors.Is(err, errPrivate):
+		return false
+	}
+	return false
+}

@@ -7,7 +7,6 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"github.com/smartcrowd/smartcrowd/internal/contract"
 	"github.com/smartcrowd/smartcrowd/internal/pow"
@@ -278,18 +277,18 @@ func (c *Chain) InsertBlock(blk *types.Block) (bool, error) {
 		mImportKnown.Inc()
 		return false, fmt.Errorf("%w: %s", ErrKnownBlock, blk.ID().Short())
 	}
-	t0 := time.Now()
+	t0 := now()
 	if err := c.verifyStateless(blk); err != nil {
-		mStage1Ns.ObserveDuration(time.Since(t0))
+		mStage1Ns.ObserveDuration(since(t0))
 		mImportFailed.Inc()
 		return false, err
 	}
-	mStage1Ns.ObserveDuration(time.Since(t0))
+	mStage1Ns.ObserveDuration(since(t0))
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	t1 := time.Now()
+	t1 := now()
 	switched, err := c.insertVerifiedLocked(blk)
-	mStage2Ns.ObserveDuration(time.Since(t1))
+	mStage2Ns.ObserveDuration(since(t1))
 	recordImport(err)
 	return switched, err
 }
@@ -334,9 +333,9 @@ func (c *Chain) InsertChain(blocks []*types.Block) (int, error) {
 				if i >= len(blocks) {
 					return
 				}
-				t0 := time.Now()
+				t0 := now()
 				errs[i] = c.verifyStatelessAt(blocks, i)
-				mStage1Ns.ObserveDuration(time.Since(t0))
+				mStage1Ns.ObserveDuration(since(t0))
 				close(done[i])
 			}
 		}()
@@ -352,9 +351,9 @@ func (c *Chain) InsertChain(blocks []*types.Block) (int, error) {
 			return processed, fmt.Errorf("chain: batch block %d (#%d): %w", i, blk.Header.Number, errs[i])
 		}
 		c.mu.Lock()
-		t1 := time.Now()
+		t1 := now()
 		_, err := c.insertVerifiedLocked(blk)
-		mStage2Ns.ObserveDuration(time.Since(t1))
+		mStage2Ns.ObserveDuration(since(t1))
 		c.mu.Unlock()
 		recordImport(err)
 		if err != nil && !errors.Is(err, ErrKnownBlock) {

@@ -1,0 +1,15 @@
+package chain
+
+import "time"
+
+// Wall-clock access for the chain package is confined to this file so
+// scvet's detsource pass can prove no consensus decision reads the
+// clock: clock.go is the one audited shim (the pow/clock.go convention).
+// The only consumers are the stage-1/stage-2 latency histograms; block
+// validity never depends on these readings.
+
+// now returns the current instant for latency measurement.
+func now() time.Time { return time.Now() }
+
+// since mirrors time.Since for the telemetry call sites.
+func since(t0 time.Time) time.Duration { return time.Since(t0) }

@@ -39,6 +39,27 @@ var (
 	ErrOversizedValue = errors.New("rlp: length prefix exceeds input")
 )
 
+// EncodeError is the panic value raised for unencodable inputs (negative
+// big integers, corrupt Item kinds). Encoding only panics on programmer
+// error — every network-reachable path goes through Decode, which
+// returns errors — so the panic carries the offending Go type and item
+// kind as structure, making fuzz-crash triage actionable instead of a
+// bare string hunt.
+type EncodeError struct {
+	// GoType is the Go type of the offending value, e.g. "*big.Int" or
+	// "rlp.Item".
+	GoType string
+	// Kind is the item kind involved; zero when the kind itself is the
+	// corruption being reported.
+	Kind Kind
+	// Detail describes the violation, including the offending value.
+	Detail string
+}
+
+func (e *EncodeError) Error() string {
+	return fmt.Sprintf("rlp: cannot encode %s (kind %d): %s", e.GoType, e.Kind, e.Detail)
+}
+
 // String builds a string item.
 func String(b []byte) Item { return Item{Kind: KindString, Str: b} }
 
@@ -69,7 +90,8 @@ func BigInt(v *big.Int) Item {
 		return Item{Kind: KindString}
 	}
 	if v.Sign() < 0 {
-		panic("rlp: negative big.Int")
+		panic(&EncodeError{GoType: "*big.Int", Kind: KindString,
+			Detail: fmt.Sprintf("negative value %s is not representable in RLP", v)})
 	}
 	return Item{Kind: KindString, Str: v.Bytes()}
 }
@@ -123,7 +145,9 @@ func appendItem(dst []byte, it Item) []byte {
 		dst = appendHeader(dst, 0xc0, len(payload))
 		return append(dst, payload...)
 	default:
-		panic(fmt.Sprintf("rlp: invalid item kind %d", it.Kind))
+		panic(&EncodeError{GoType: "rlp.Item", Kind: it.Kind,
+			Detail: fmt.Sprintf("invalid item kind %d (want KindString=%d or KindList=%d)",
+				it.Kind, KindString, KindList)})
 	}
 }
 

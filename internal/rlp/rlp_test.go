@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"math/big"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -241,4 +242,55 @@ func BenchmarkEncodeBlockLike(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		Encode(blk)
 	}
+}
+
+// TestEncodePanicsAreStructured pins the panic values Encode raises on
+// programmer error: they must be *EncodeError carrying the offending Go
+// type, the item kind, and the value, so a fuzz crash log identifies the
+// bad input without a debugger.
+func TestEncodePanicsAreStructured(t *testing.T) {
+	mustPanic := func(name string, fn func(), wantType string, wantKind Kind, wantSubstrings ...string) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Errorf("%s: expected panic", name)
+				return
+			}
+			ee, ok := r.(*EncodeError)
+			if !ok {
+				t.Errorf("%s: panic value is %T, want *EncodeError", name, r)
+				return
+			}
+			if ee.GoType != wantType {
+				t.Errorf("%s: GoType = %q, want %q", name, ee.GoType, wantType)
+			}
+			if ee.Kind != wantKind {
+				t.Errorf("%s: Kind = %d, want %d", name, ee.Kind, wantKind)
+			}
+			msg := ee.Error()
+			if !strings.HasPrefix(msg, "rlp: cannot encode ") {
+				t.Errorf("%s: message %q lacks the rlp: cannot encode prefix", name, msg)
+			}
+			for _, sub := range wantSubstrings {
+				if !strings.Contains(msg, sub) {
+					t.Errorf("%s: message %q missing %q", name, msg, sub)
+				}
+			}
+		}()
+		fn()
+	}
+
+	mustPanic("negative big.Int",
+		func() { BigInt(big.NewInt(-5)) },
+		"*big.Int", KindString, "negative value -5")
+	mustPanic("invalid kind zero",
+		func() { Encode(Item{}) },
+		"rlp.Item", Kind(0), "invalid item kind 0")
+	mustPanic("invalid kind out of range",
+		func() { Encode(Item{Kind: Kind(9)}) },
+		"rlp.Item", Kind(9), "invalid item kind 9")
+	mustPanic("invalid kind nested in list",
+		func() { Encode(List(Uint64(1), Item{Kind: Kind(7)})) },
+		"rlp.Item", Kind(7), "invalid item kind 7")
 }

@@ -1,0 +1,15 @@
+package state
+
+import "time"
+
+// Wall-clock access for the state package is confined to this file so
+// scvet's detsource pass can prove state commitment math never reads the
+// clock (clock.go is the audited shim, per the pow/clock.go convention).
+// Root() timing telemetry is the only consumer; the trie and the digests
+// it commits to are pure functions of the account data.
+
+// now returns the current instant for latency measurement.
+func now() time.Time { return time.Now() }
+
+// since mirrors time.Since for the telemetry call sites.
+func since(t0 time.Time) time.Duration { return time.Since(t0) }

@@ -21,7 +21,6 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"time"
 
 	"github.com/smartcrowd/smartcrowd/internal/crypto/keccak"
 	"github.com/smartcrowd/smartcrowd/internal/types"
@@ -413,8 +412,8 @@ func (db *DB) Root() types.Hash {
 	if n := len(db.dirty); n > 0 {
 		// Clean roots are free and frequent; only rehash work is observed.
 		mRootDirtyAccounts.Observe(uint64(n))
-		t0 := time.Now()
-		defer func() { mRootNs.ObserveDuration(time.Since(t0)) }()
+		t0 := now()
+		defer func() { mRootNs.ObserveDuration(since(t0)) }()
 	}
 	for addr := range db.dirty {
 		if acc, ok := db.accounts[addr]; ok && !acc.empty() {
