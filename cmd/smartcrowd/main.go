@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"runtime"
+	"strconv"
 	"time"
 
 	"github.com/smartcrowd/smartcrowd/internal/core"
@@ -282,6 +284,8 @@ func cmdServe(args []string) int {
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (operator use only)")
 	listen := fs.String("listen", "", "join a real TCP network: wire transport listen address")
 	peers := fs.String("peers", "", "comma-separated wire peer addresses (with -listen)")
+	parallelism := fs.Int("parallelism", runtime.GOMAXPROCS(0),
+		"worker count for optimistic parallel block execution (1 = serial; with -listen)")
 	_ = fs.Parse(args)
 
 	// With a wire listen address, serve is a networked node whose RPC
@@ -289,7 +293,7 @@ func cmdServe(args []string) int {
 	// serve keeps its original behaviour: a self-contained demo chain on
 	// the simulated bus.
 	if *listen != "" {
-		nodeArgs := []string{"-listen", *listen, "-rpc", *addr}
+		nodeArgs := []string{"-listen", *listen, "-rpc", *addr, "-parallelism", strconv.Itoa(*parallelism)}
 		if *peers != "" {
 			nodeArgs = append(nodeArgs, "-peers", *peers)
 		}

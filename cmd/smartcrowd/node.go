@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -40,6 +41,8 @@ func cmdNode(args []string) int {
 	maxTxs := fs.Int("maxtxs", 0, "max transactions per mined block (0 = no cap)")
 	blocks := fs.Int("blocks", 0, "stop after mining this many blocks (0 = run until interrupted)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof on the RPC listener (operator use only)")
+	parallelism := fs.Int("parallelism", runtime.GOMAXPROCS(0),
+		"worker count for optimistic parallel block execution (1 = serial, for debugging)")
 	_ = fs.Parse(args)
 
 	fail := func(err error) int {
@@ -57,6 +60,7 @@ func cmdNode(args []string) int {
 	// agree. Mining rewards, not genesis funding, supply the economy.
 	sc := contract.New(contract.DefaultParams(), detection.NewGroundTruthVerifier(false))
 	cfg := chain.DefaultConfig(sc)
+	cfg.ExecParallelism = *parallelism
 	prov, err := node.NewProvider(nodeID, wallet.NewDeterministic(string(nodeID)), cfg, nil)
 	if err != nil {
 		return fail(err)

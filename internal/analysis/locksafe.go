@@ -17,23 +17,29 @@ var lockedPkgs = []string{
 	"internal/txpool",
 }
 
-// passLocksafe flags expensive crypto lexically inside a
-// mu.Lock()…mu.Unlock() region: direct calls into internal/crypto/keccak
-// or internal/crypto/secp256k1, blocking batch recovery
-// (types.RecoverSenders), and per-transaction Sender()/ValidateBasic()
-// (ECDSA on a cache miss). `defer mu.Unlock()` keeps the region open to
-// the end of the function; goroutine bodies launched inside the region
-// (`go func(){…}()`) run outside the lock and are skipped.
+// passLocksafe flags expensive or non-deterministic work lexically
+// inside a mu.Lock()…mu.Unlock() region: direct calls into
+// internal/crypto/keccak or internal/crypto/secp256k1, blocking batch
+// recovery (types.RecoverSenders), per-transaction
+// Sender()/ValidateBasic() (ECDSA on a cache miss), and wall-clock
+// reads — time.Now/time.Since or the package's clock.go shim functions.
+// Crypto under the lock undoes the stage-1/stage-2 split; clock reads
+// under the lock inflate hold time and, worse, would let scheduling
+// jitter into anything the critical section computes (the parallel
+// executor's merge loop must stay a pure function of its inputs).
+// `defer mu.Unlock()` keeps the region open to the end of the function;
+// goroutine bodies launched inside the region (`go func(){…}()`) run
+// outside the lock and are skipped.
 var passLocksafe = &Pass{
 	Name: "locksafe",
-	Doc:  "no ECDSA recovery or keccak hashing inside mutex critical sections in chain/txpool",
+	Doc:  "no ECDSA recovery, keccak hashing, or wall-clock reads inside mutex critical sections in chain/txpool",
 	Run:  runLocksafe,
 }
 
 // lockEvent is one lexically ordered event inside a function body.
 type lockEvent struct {
 	pos  token.Pos
-	kind int // evLock, evUnlock, evCrypto
+	kind int // evLock, evUnlock, evCrypto, evClock
 	desc string
 }
 
@@ -41,6 +47,7 @@ const (
 	evLock = iota
 	evUnlock
 	evCrypto
+	evClock
 )
 
 func runLocksafe(p *Package) []Finding {
@@ -94,6 +101,8 @@ func locksafeFunc(p *Package, body *ast.BlockStmt) []Finding {
 			}
 			if desc := cryptoCallee(p.Info, n); desc != "" {
 				events = append(events, lockEvent{pos: n.Pos(), kind: evCrypto, desc: desc})
+			} else if desc := clockCallee(p, n); desc != "" {
+				events = append(events, lockEvent{pos: n.Pos(), kind: evClock, desc: desc})
 			}
 		}
 		return true
@@ -116,6 +125,14 @@ func locksafeFunc(p *Package, body *ast.BlockStmt) []Finding {
 					Pos:  p.Fset.Position(ev.pos),
 					Pass: "locksafe",
 					Msg:  "call to " + ev.desc + " inside a mutex critical section; hoist crypto out of the lock (stage-1/stage-2 split)",
+				})
+			}
+		case evClock:
+			if depth > 0 {
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(ev.pos),
+					Pass: "locksafe",
+					Msg:  "call to " + ev.desc + " inside a mutex critical section; read the wall clock outside the lock",
 				})
 			}
 		}
@@ -170,6 +187,25 @@ func isMutexType(t types.Type) bool {
 	}
 	name := named.Obj().Name()
 	return name == "Mutex" || name == "RWMutex"
+}
+
+// clockCallee returns a display name when call reads the wall clock —
+// time.Now/time.Since directly, or any function declared in the
+// package's clock.go shim file (the detsource-audited home for raw
+// clock reads) — else "".
+func clockCallee(p *Package, call *ast.CallExpr) string {
+	obj := calleeObj(p.Info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	if obj.Pkg().Path() == "time" && (obj.Name() == "Now" || obj.Name() == "Since") {
+		return "time." + obj.Name()
+	}
+	if obj.Pkg().Path() == p.ImportPath &&
+		strings.HasSuffix(p.Fset.Position(obj.Pos()).Filename, "/clock.go") {
+		return obj.Name() + " (clock.go shim)"
+	}
+	return ""
 }
 
 // cryptoCallee returns a display name when call invokes expensive crypto,

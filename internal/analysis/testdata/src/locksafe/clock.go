@@ -1,0 +1,12 @@
+// The package clock shim, mirroring internal/chain/clock.go: raw
+// wall-clock reads are confined to this file, and locksafe treats every
+// function declared here as a clock read at its call sites.
+package fixlock
+
+import "time"
+
+// tick returns the current instant.
+func tick() time.Time { return time.Now() }
+
+// tock mirrors time.Since.
+func tock(t0 time.Time) time.Duration { return time.Since(t0) }

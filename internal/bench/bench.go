@@ -175,6 +175,7 @@ func All() []Experiment {
 		{ID: "abl-dct", Title: "Analysis: total detection capability vs crowd size", Run: AnalysisDCT},
 		{ID: "chaincore", Title: "Chain-core hot paths: insert throughput, state root, detection query", Run: ChainCore},
 		{ID: "syncpipeline", Title: "Sync pipeline: batched InsertChain vs serial re-verification", Run: SyncPipeline},
+		{ID: "execpar", Title: "Execution parallelism: optimistic parallel stage 2 vs serial oracle", Run: ExecPar},
 	}
 }
 

@@ -43,6 +43,12 @@ type Config struct {
 	// and rebuilt by re-execution on demand — long simulations stay
 	// memory-bounded without losing queryability.
 	StateHistory int
+	// ExecParallelism is the worker count for optimistic parallel
+	// transaction execution in stage 2 of block import (parallel.go).
+	// 0 or 1 forces the serial oracle — the default, and the debugging
+	// escape hatch; the node command defaults its -parallelism flag to
+	// runtime.GOMAXPROCS(0) instead. Either way results are bit-identical.
+	ExecParallelism int
 	// Alloc pre-funds accounts in the genesis state.
 	Alloc map[types.Address]types.Amount
 }

@@ -18,6 +18,12 @@ var (
 	mBatchBlocks    = telemetry.GetHistogram("smartcrowd_chain_batch_blocks")
 	mHeadHeight     = telemetry.GetGauge("smartcrowd_chain_head_height")
 	mReorgs         = telemetry.GetCounter("smartcrowd_chain_reorgs_total")
+
+	// Optimistic parallel execution (parallel.go).
+	mExecParSpeculative = telemetry.GetCounter("smartcrowd_chain_exec_parallel_speculative_total")
+	mExecParConflicts   = telemetry.GetCounter("smartcrowd_chain_exec_parallel_conflicts_total")
+	mExecParReexecs     = telemetry.GetCounter("smartcrowd_chain_exec_parallel_reexec_total")
+	mExecParFallbacks   = telemetry.GetCounter("smartcrowd_chain_exec_parallel_fallback_total")
 )
 
 func init() {
@@ -27,6 +33,10 @@ func init() {
 	telemetry.SetHelp("smartcrowd_chain_batch_blocks", "InsertChain batch sizes in blocks")
 	telemetry.SetHelp("smartcrowd_chain_head_height", "canonical head block number")
 	telemetry.SetHelp("smartcrowd_chain_reorgs_total", "head switches that abandoned at least one canonical block")
+	telemetry.SetHelp("smartcrowd_chain_exec_parallel_speculative_total", "transactions executed speculatively by the parallel scheduler")
+	telemetry.SetHelp("smartcrowd_chain_exec_parallel_conflicts_total", "speculative transactions whose read/write sets collided with earlier writes")
+	telemetry.SetHelp("smartcrowd_chain_exec_parallel_reexec_total", "transactions re-executed serially after a conflict ended the clean prefix")
+	telemetry.SetHelp("smartcrowd_chain_exec_parallel_fallback_total", "blocks that abandoned speculation for the serial oracle (dense conflict graph)")
 }
 
 // recordImport classifies a per-block import outcome into the counter

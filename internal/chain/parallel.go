@@ -1,0 +1,152 @@
+// Optimistic parallel transaction execution for stage 2 of block import.
+//
+// Every transaction of a block is executed speculatively against its own
+// state.RecordingView over the (unmutated) pre-block state, concurrently
+// across a worker pool. A deterministic resolution pass then walks the
+// block in canonical order: a transaction whose recorded read/write sets
+// are disjoint from everything committed before it produced exactly the
+// receipt and writes the serial executor would have produced, so its
+// overlay is merged as-is; the first conflicting (or speculatively
+// failed) transaction ends the clean prefix and the remaining suffix
+// re-executes serially against the merged state. When fewer than half
+// the transactions commit cleanly — typical of registry-contract-heavy
+// blocks, where every report touches the contract account — the
+// speculation is discarded wholesale and the block runs on the serial
+// oracle, so dense blocks pay one wasted fan-out rather than a merge
+// storm. Outcomes are bit-identical to the serial executor by
+// construction: only provably-equivalent prefixes skip re-execution.
+package chain
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/smartcrowd/smartcrowd/internal/state"
+	"github.com/smartcrowd/smartcrowd/internal/types"
+)
+
+// minParallelTxs is the block size below which speculation cannot win:
+// goroutine fan-out and overlay bookkeeping cost more than a short serial
+// loop.
+const minParallelTxs = 4
+
+// execWorkers resolves how many speculative workers a block gets: 1
+// (serial) unless the config opts into parallelism and the block is large
+// enough to amortize the fan-out.
+func execWorkers(cfg Config, txs int) int {
+	w := cfg.ExecParallelism
+	if w <= 1 || txs < minParallelTxs {
+		return 1
+	}
+	if w > txs {
+		w = txs
+	}
+	return w
+}
+
+// specResult is one transaction's speculative outcome.
+type specResult struct {
+	view    *state.RecordingView
+	receipt *Receipt
+	err     error
+}
+
+// execTxsParallel executes a block's transactions speculatively in
+// parallel and resolves the results deterministically. It mutates st only
+// during the resolution pass (worker views are read-only over st), so a
+// dense-conflict fallback restarts on pristine state. The returned
+// receipts and st mutations are bit-identical to execTxsSerial's.
+func execTxsParallel(cfg Config, st *state.DB, blk *types.Block, workers int) ([]*Receipt, error) {
+	n := len(blk.Txs)
+	results := make([]specResult, n)
+
+	// Speculation: workers pull transaction indices from a shared cursor;
+	// each transaction runs against a private recording view of st.
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				view := state.NewRecordingView(st)
+				ex := newExecutor(cfg, view, blk)
+				r, err := ex.applyTx(blk.Txs[i])
+				results[i] = specResult{view: view, receipt: r, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	mExecParSpeculative.Add(uint64(n))
+
+	// Resolution: find the clean prefix — the longest run of transactions
+	// whose speculation succeeded and whose read/write sets are disjoint
+	// from every earlier committed write. The miner joins the written set
+	// as soon as any transaction commits: each commit credits the miner's
+	// fee (settleFee), which speculative views never observed, so any
+	// later transaction touching the miner account speculated against
+	// stale state. A speculative error also ends the prefix: it may be a
+	// conflict artifact (e.g. a same-sender nonce chain), and only the
+	// serial re-execution is authoritative.
+	written := make(map[types.Address]struct{}, n)
+	clean := 0
+	for ; clean < n; clean++ {
+		r := results[clean]
+		if r.err != nil || r.view.Touches(written) {
+			break
+		}
+		r.view.AddWritesTo(written)
+		written[blk.Header.Miner] = struct{}{}
+	}
+
+	if clean < n {
+		// Count how many of the suffix transactions actually collide with
+		// the prefix's writes (vs merely trailing the first conflict).
+		conflicts := uint64(0)
+		for i := clean; i < n; i++ {
+			if results[i].err != nil || results[i].view.Touches(written) {
+				conflicts++
+			}
+		}
+		mExecParConflicts.Add(conflicts)
+	}
+
+	// Dense conflict graph: discard the speculation and run the serial
+	// oracle from scratch. st is still pristine here — merges happen below.
+	if clean*2 < n {
+		mExecParFallbacks.Inc()
+		return execTxsSerial(cfg, st, blk)
+	}
+
+	// Commit the clean prefix in canonical order: merge each overlay,
+	// settle the miner's fee, and enforce the cumulative gas limit exactly
+	// as the serial loop would have.
+	receipts := make([]*Receipt, n)
+	var gasUsed uint64
+	for i := 0; i < clean; i++ {
+		r := results[i]
+		r.view.CommitTo(st)
+		if err := settleFee(st, blk.Header.Miner, r.receipt); err != nil {
+			return nil, err
+		}
+		gasUsed += r.receipt.GasUsed
+		if cfg.BlockGasLimit > 0 && gasUsed > cfg.BlockGasLimit {
+			return nil, fmt.Errorf("%w: %d > %d", ErrBlockGasLimit, gasUsed, cfg.BlockGasLimit)
+		}
+		receipts[i] = r.receipt
+	}
+
+	// Re-execute the conflicting suffix serially on the merged state.
+	if clean < n {
+		mExecParReexecs.Add(uint64(n - clean))
+		if err := execTxsRange(cfg, st, blk, receipts, clean, &gasUsed); err != nil {
+			return nil, err
+		}
+	}
+	return receipts, nil
+}

@@ -1,0 +1,315 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/smartcrowd/smartcrowd/internal/contract"
+	"github.com/smartcrowd/smartcrowd/internal/types"
+	"github.com/smartcrowd/smartcrowd/internal/wallet"
+)
+
+// parHarness funds a pool of independent senders so tests can compose
+// blocks with a chosen account-overlap density.
+type parHarness struct {
+	t       *testing.T
+	cfg     Config
+	senders []*wallet.Wallet
+	miner   *wallet.Wallet
+}
+
+func newParHarness(t *testing.T, senders int) *parHarness {
+	t.Helper()
+	h := &parHarness{t: t, miner: wallet.NewDeterministic("par-miner")}
+	verifier := contract.VerifierFunc(func(types.Hash, types.Finding) bool { return true })
+	cfg := DefaultConfig(contract.New(contract.DefaultParams(), verifier))
+	cfg.SkipPoWCheck = true
+	cfg.Alloc = make(map[types.Address]types.Amount, senders)
+	for i := 0; i < senders; i++ {
+		w := wallet.NewDeterministic(fmt.Sprintf("par-sender-%d", i))
+		h.senders = append(h.senders, w)
+		cfg.Alloc[w.Address()] = types.EtherAmount(100)
+	}
+	h.cfg = cfg
+	return h
+}
+
+// newChain builds a chain from the harness config with the given
+// execution parallelism. All variants share the same genesis because
+// ExecParallelism does not enter any header or root.
+func (h *parHarness) newChain(parallelism int) *Chain {
+	h.t.Helper()
+	cfg := h.cfg
+	cfg.ExecParallelism = parallelism
+	c, err := New(cfg)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return c
+}
+
+func (h *parHarness) signedTransfer(from *wallet.Wallet, nonce uint64, to types.Address, amount types.Amount) *types.Transaction {
+	h.t.Helper()
+	tx := &types.Transaction{
+		Kind:     types.TxTransfer,
+		Nonce:    nonce,
+		To:       to,
+		Value:    amount,
+		GasLimit: 21_000,
+		GasPrice: testGasPrice,
+	}
+	if err := types.SignTx(tx, from); err != nil {
+		h.t.Fatal(err)
+	}
+	return tx
+}
+
+// extend builds a block of txs on c's head (using c's own executor for
+// the roots) and inserts it.
+func (h *parHarness) extend(c *Chain, txs ...*types.Transaction) *types.Block {
+	h.t.Helper()
+	parent := c.Head()
+	blk, err := c.BuildBlock(parent.ID(), h.miner.Address(), parent.Header.Time+15_350, 1000, txs)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	if _, err := c.InsertBlock(blk); err != nil {
+		h.t.Fatal(err)
+	}
+	return blk
+}
+
+// genOverlapBlocks builds blocks on the serial oracle whose transactions
+// overlap on accounts with probability density: at 0 every transfer goes
+// from a unique sender to a unique fresh sink; as density rises,
+// recipients collapse onto a small hot set and senders repeat within a
+// block (intra-block nonce chains, which additionally force speculative
+// nonce failures). txsPerBlock must not exceed the sender pool.
+func genOverlapBlocks(t *testing.T, h *parHarness, oracle *Chain, rng *rand.Rand, blocks, txsPerBlock int, density float64) {
+	t.Helper()
+	if txsPerBlock > len(h.senders) {
+		t.Fatalf("txsPerBlock %d exceeds sender pool %d", txsPerBlock, len(h.senders))
+	}
+	nonces := make(map[types.Address]uint64)
+	hot := make([]types.Address, 3)
+	for i := range hot {
+		hot[i] = types.Address{0xE0, byte(i)}
+	}
+	fresh := 0
+	for b := 0; b < blocks; b++ {
+		perm := rng.Perm(len(h.senders))
+		txs := make([]*types.Transaction, 0, txsPerBlock)
+		for i := 0; i < txsPerBlock; i++ {
+			from := h.senders[perm[i]]
+			if i > 0 && rng.Float64() < density {
+				from = h.senders[perm[rng.Intn(i)]] // repeat an earlier sender
+			}
+			var to types.Address
+			if rng.Float64() < density {
+				to = hot[rng.Intn(len(hot))]
+			} else {
+				fresh++
+				to = types.Address{0xF0, byte(fresh >> 8), byte(fresh)}
+			}
+			addr := from.Address()
+			txs = append(txs, h.signedTransfer(from, nonces[addr], to, types.Amount(1+rng.Intn(1000))))
+			nonces[addr]++
+		}
+		h.extend(oracle, txs...)
+	}
+}
+
+// TestParallelExecEquivalenceRandom is the randomized overlap-density
+// property test: blocks generated at several conflict densities must
+// import identically — roots, receipts, gas, fees — through the parallel
+// scheduler and the serial oracle. Run with -race it also shakes out
+// data races in speculation.
+func TestParallelExecEquivalenceRandom(t *testing.T) {
+	for _, density := range []float64{0.0, 0.3, 0.8} {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("density=%.1f/seed=%d", density, seed), func(t *testing.T) {
+				h := newParHarness(t, 16)
+				oracle := h.newChain(1)
+				rng := rand.New(rand.NewSource(seed))
+				genOverlapBlocks(t, h, oracle, rng, 6, 12, density)
+
+				parallel := h.newChain(8)
+				blocks := oracle.CanonicalBlocks()[1:]
+				if n, err := parallel.InsertChain(blocks); err != nil {
+					t.Fatalf("parallel import failed after %d blocks: %v", n, err)
+				}
+				assertChainsIdentical(t, oracle, parallel)
+			})
+		}
+	}
+}
+
+// TestParallelExecDetectionWorkload runs the SmartCrowd detection
+// lifecycle (SRA, reports, payouts — all funneled through the contract
+// account) through the parallel scheduler, padded with provider transfer
+// chains so blocks are large enough to speculate. Contract-heavy blocks
+// are the dense-conflict case and must still import bit-identically.
+func TestParallelExecDetectionWorkload(t *testing.T) {
+	h := newHarness(t)
+	sraTx, sra := h.sraTx(types.EtherAmount(1000), types.EtherAmount(5))
+	pad := func() []*types.Transaction {
+		return []*types.Transaction{
+			h.transferTx(h.provider, types.Address{0xD1}, 3),
+			h.transferTx(h.provider, types.Address{0xD2}, 3),
+			h.transferTx(h.provider, types.Address{0xD3}, 3),
+		}
+	}
+	h.extend(append([]*types.Transaction{sraTx}, pad()...)...)
+	for i := 0; i < 3; i++ {
+		itx, dtx := h.reportPair(sra.ID, fmt.Sprintf("CVE-PAR-%d", i))
+		h.extend(append([]*types.Transaction{itx}, pad()...)...)
+		h.extend(append([]*types.Transaction{dtx}, pad()...)...)
+	}
+
+	cfg := h.chain.Config()
+	cfg.ExecParallelism = 8
+	parallel, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := parallel.InsertChain(h.chain.CanonicalBlocks()[1:]); err != nil {
+		t.Fatalf("parallel import failed after %d blocks: %v", n, err)
+	}
+	assertChainsIdentical(t, h.chain, parallel)
+}
+
+// TestParallelExecConflictSuffixReexec forces the partial-commit path: a
+// block whose first transactions are disjoint and whose tail collides on
+// a shared sink must merge the clean prefix and re-execute exactly the
+// conflicting suffix, not fall back wholesale.
+func TestParallelExecConflictSuffixReexec(t *testing.T) {
+	h := newParHarness(t, 8)
+	oracle := h.newChain(1)
+
+	shared := types.Address{0xAA}
+	txs := make([]*types.Transaction, 0, 8)
+	for i := 0; i < 6; i++ { // disjoint prefix: unique sender → unique sink
+		txs = append(txs, h.signedTransfer(h.senders[i], 0, types.Address{0xF1, byte(i)}, 10))
+	}
+	// tx6 writes `shared` first (no earlier tx touches it, so it still
+	// commits cleanly); tx7 writes it again — a write-after-write conflict
+	// with the committed prefix that ends speculation at index 7.
+	txs = append(txs, h.signedTransfer(h.senders[6], 0, shared, 10))
+	txs = append(txs, h.signedTransfer(h.senders[7], 0, shared, 10))
+
+	specBefore := mExecParSpeculative.Value()
+	reexecBefore := mExecParReexecs.Value()
+	fallbackBefore := mExecParFallbacks.Value()
+	conflictBefore := mExecParConflicts.Value()
+
+	blk := h.extend(oracle, txs...) // serial build+import: no counters move
+	if d := mExecParSpeculative.Value() - specBefore; d != 0 {
+		t.Fatalf("serial oracle ran speculation: %d", d)
+	}
+
+	parallel := h.newChain(8)
+	if _, err := parallel.InsertChain([]*types.Block{blk}); err != nil {
+		t.Fatal(err)
+	}
+	assertChainsIdentical(t, oracle, parallel)
+
+	if d := mExecParSpeculative.Value() - specBefore; d != 8 {
+		t.Fatalf("speculative runs: got %d, want 8", d)
+	}
+	if d := mExecParConflicts.Value() - conflictBefore; d != 1 {
+		t.Fatalf("conflicts: got %d, want 1", d)
+	}
+	if d := mExecParReexecs.Value() - reexecBefore; d != 1 {
+		t.Fatalf("reexecs: got %d, want 1", d)
+	}
+	if d := mExecParFallbacks.Value() - fallbackBefore; d != 0 {
+		t.Fatalf("fallbacks: got %d, want 0", d)
+	}
+}
+
+// TestParallelExecDenseFallback drives a same-sender nonce chain: every
+// speculative run after the first fails (stale nonce), the clean prefix
+// collapses, and the scheduler must abandon speculation for the serial
+// oracle — still importing the block bit-identically.
+func TestParallelExecDenseFallback(t *testing.T) {
+	h := newParHarness(t, 2)
+	oracle := h.newChain(1)
+
+	txs := make([]*types.Transaction, 0, 6)
+	for n := uint64(0); n < 6; n++ {
+		txs = append(txs, h.signedTransfer(h.senders[0], n, types.Address{0xF2, byte(n)}, 5))
+	}
+
+	fallbackBefore := mExecParFallbacks.Value()
+	blk := h.extend(oracle, txs...)
+
+	parallel := h.newChain(4)
+	if _, err := parallel.InsertChain([]*types.Block{blk}); err != nil {
+		t.Fatal(err)
+	}
+	assertChainsIdentical(t, oracle, parallel)
+
+	if d := mExecParFallbacks.Value() - fallbackBefore; d != 1 {
+		t.Fatalf("fallbacks: got %d, want 1", d)
+	}
+}
+
+// TestParallelExecSmallBlockStaysSerial pins the fan-out threshold:
+// blocks below minParallelTxs skip speculation entirely.
+func TestParallelExecSmallBlockStaysSerial(t *testing.T) {
+	h := newParHarness(t, 2)
+	c := h.newChain(8)
+	specBefore := mExecParSpeculative.Value()
+	h.extend(c, h.signedTransfer(h.senders[0], 0, types.Address{0xF3}, 5))
+	if d := mExecParSpeculative.Value() - specBefore; d != 0 {
+		t.Fatalf("small block speculated: %d", d)
+	}
+}
+
+// TestExecutorSentinelErrors pins the wrapped-sentinel contract of the
+// executor's failure paths: callers (and the parallel scheduler) must be
+// able to classify failures with errors.Is.
+func TestExecutorSentinelErrors(t *testing.T) {
+	h := newParHarness(t, 2)
+	c := h.newChain(1)
+	parent := c.Head()
+
+	build := func(txs ...*types.Transaction) error {
+		_, err := c.BuildBlock(parent.ID(), h.miner.Address(), parent.Header.Time+15_350, 1000, txs)
+		return err
+	}
+
+	badNonce := h.signedTransfer(h.senders[0], 5, types.Address{0xF4}, 1)
+	if err := build(badNonce); !errors.Is(err, ErrBadNonce) {
+		t.Fatalf("bad nonce: got %v", err)
+	}
+
+	poor := h.signedTransfer(h.senders[0], 0, types.Address{0xF4}, types.EtherAmount(10_000))
+	if err := build(poor); !errors.Is(err, ErrUnaffordableTx) {
+		t.Fatalf("unaffordable: got %v", err)
+	}
+
+	short := &types.Transaction{
+		Kind: types.TxTransfer, Nonce: 0, To: types.Address{0xF4},
+		Value: 1, GasLimit: 1_000, GasPrice: testGasPrice,
+	}
+	if err := types.SignTx(short, h.senders[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := build(short); !errors.Is(err, ErrGasLimitTooLow) {
+		t.Fatalf("gas too low: got %v", err)
+	}
+
+	garbled := &types.Transaction{
+		Kind: types.TxSRA, Nonce: 0, Data: []byte{0xFF, 0xFE},
+		GasLimit: 2_000_000, GasPrice: testGasPrice,
+	}
+	if err := types.SignTx(garbled, h.senders[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := build(garbled); !errors.Is(err, ErrTxPayload) {
+		t.Fatalf("malformed payload: got %v", err)
+	}
+}

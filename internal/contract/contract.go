@@ -16,9 +16,20 @@ import (
 	"errors"
 	"fmt"
 
-	"github.com/smartcrowd/smartcrowd/internal/state"
 	"github.com/smartcrowd/smartcrowd/internal/types"
 )
+
+// StateDB is the state surface the contract operates through: balances,
+// value transfer and its own storage slots. Both *state.DB and the
+// recording views the chain's parallel executor runs transactions
+// against satisfy it, so contract logic is oblivious to whether it runs
+// serially on the canonical state or speculatively on an overlay.
+type StateDB interface {
+	Balance(addr types.Address) types.Amount
+	Transfer(from, to types.Address, value types.Amount) error
+	GetStorage(addr types.Address, key types.Hash) types.Hash
+	SetStorage(addr types.Address, key, value types.Hash)
+}
 
 // Address is the reserved account the SmartCrowd contract lives at. The
 // last byte is 0x5C ("SmartCrowd").
@@ -178,7 +189,7 @@ var one = uintHash(1)
 // insurance. The caller (chain executor) must already have moved
 // sra.Insurance from the provider to the contract address; ApplySRA checks
 // the funding invariant.
-func (c *Contract) ApplySRA(st *state.DB, blockNum uint64, sra *types.SRA) error {
+func (c *Contract) ApplySRA(st StateDB, blockNum uint64, sra *types.SRA) error {
 	if err := sra.Verify(); err != nil {
 		return fmt.Errorf("contract: SRA failed decentralized verification: %w", err)
 	}
@@ -206,7 +217,7 @@ func (c *Contract) ApplySRA(st *state.DB, blockNum uint64, sra *types.SRA) error
 // --- report submission (Phases #2/#3) --------------------------------------
 
 // ApplyInitialReport records the R† commitment (paper Phase I).
-func (c *Contract) ApplyInitialReport(st *state.DB, blockNum uint64, r *types.InitialReport) error {
+func (c *Contract) ApplyInitialReport(st StateDB, blockNum uint64, r *types.InitialReport) error {
 	if err := r.Verify(); err != nil {
 		return fmt.Errorf("contract: R† failed verification: %w", err)
 	}
@@ -244,7 +255,7 @@ type Payout struct {
 // the preset bounty μ per first-reported genuine vulnerability out of the
 // escrowed insurance, and records the claims. This is the "decentralized
 // and automated incentives allocation" of §V-D — no authority intervenes.
-func (c *Contract) ApplyDetailedReport(st *state.DB, blockNum uint64, r *types.DetailedReport) (Payout, error) {
+func (c *Contract) ApplyDetailedReport(st StateDB, blockNum uint64, r *types.DetailedReport) (Payout, error) {
 	var payout Payout
 	if c.verifier == nil {
 		return payout, ErrNoVerifier
@@ -323,7 +334,7 @@ func (c *Contract) ApplyDetailedReport(st *state.DB, blockNum uint64, r *types.D
 
 // Refund returns the un-forfeited insurance to the provider once the
 // detection window has elapsed. Only the SRA's provider may claim it.
-func (c *Contract) Refund(st *state.DB, blockNum uint64, sraID types.Hash, caller types.Address) (types.Amount, error) {
+func (c *Contract) Refund(st StateDB, blockNum uint64, sraID types.Hash, caller types.Address) (types.Amount, error) {
 	if st.GetStorage(Address, slot([]byte("sra"), sraID[:])).IsZero() {
 		return 0, fmt.Errorf("%w: %s", ErrSRAUnknown, sraID.Short())
 	}
@@ -371,7 +382,7 @@ func RefundInput(sraID types.Hash) []byte {
 // Call dispatches a native contract invocation (the chain executor routes
 // TxContractCall transactions addressed to the contract here). It returns
 // the amount transferred out, if any.
-func (c *Contract) Call(st *state.DB, blockNum uint64, caller types.Address, input []byte) (types.Amount, error) {
+func (c *Contract) Call(st StateDB, blockNum uint64, caller types.Address, input []byte) (types.Amount, error) {
 	if len(input) == 0 {
 		return 0, ErrBadCall
 	}
@@ -400,7 +411,7 @@ type SRAInfo struct {
 }
 
 // GetSRA returns the registered record for an announcement.
-func (c *Contract) GetSRA(st *state.DB, sraID types.Hash) (SRAInfo, error) {
+func (c *Contract) GetSRA(st StateDB, sraID types.Hash) (SRAInfo, error) {
 	if st.GetStorage(Address, slot([]byte("sra"), sraID[:])).IsZero() {
 		return SRAInfo{}, fmt.Errorf("%w: %s", ErrSRAUnknown, sraID.Short())
 	}
@@ -415,11 +426,11 @@ func (c *Contract) GetSRA(st *state.DB, sraID types.Hash) (SRAInfo, error) {
 
 // ClaimedBy returns the wallet that first reported a vulnerability, or the
 // zero address if it is unclaimed.
-func (c *Contract) ClaimedBy(st *state.DB, sraID types.Hash, vulnID string) types.Address {
+func (c *Contract) ClaimedBy(st StateDB, sraID types.Hash, vulnID string) types.Address {
 	return hashAddr(st.GetStorage(Address, slot([]byte("claim"), sraID[:], []byte(vulnID))))
 }
 
 // HasCommitment reports whether an unconsumed R† commitment exists.
-func (c *Contract) HasCommitment(st *state.DB, detailHash types.Hash) bool {
+func (c *Contract) HasCommitment(st StateDB, detailHash types.Hash) bool {
 	return !st.GetStorage(Address, slot([]byte("commit"), detailHash[:])).IsZero()
 }
