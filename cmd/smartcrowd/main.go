@@ -16,7 +16,6 @@ import (
 	"crypto/rand"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"runtime"
 	"strconv"
@@ -286,6 +285,8 @@ func cmdServe(args []string) int {
 	peers := fs.String("peers", "", "comma-separated wire peer addresses (with -listen)")
 	parallelism := fs.Int("parallelism", runtime.GOMAXPROCS(0),
 		"worker count for optimistic parallel block execution (1 = serial; with -listen)")
+	rpcTimeout := fs.Duration("rpc-timeout", 0,
+		"read/write deadline per RPC request (0 = 30s defaults); header and idle deadlines are always set")
 	_ = fs.Parse(args)
 
 	// With a wire listen address, serve is a networked node whose RPC
@@ -293,7 +294,8 @@ func cmdServe(args []string) int {
 	// serve keeps its original behaviour: a self-contained demo chain on
 	// the simulated bus.
 	if *listen != "" {
-		nodeArgs := []string{"-listen", *listen, "-rpc", *addr, "-parallelism", strconv.Itoa(*parallelism)}
+		nodeArgs := []string{"-listen", *listen, "-rpc", *addr, "-parallelism", strconv.Itoa(*parallelism),
+			"-rpc-timeout", rpcTimeout.String()}
 		if *peers != "" {
 			nodeArgs = append(nodeArgs, "-peers", *peers)
 		}
@@ -344,7 +346,7 @@ func cmdServe(args []string) int {
 		fmt.Printf("     pprof enabled: go tool pprof http://%s/debug/pprof/profile\n", *addr)
 	}
 	server := rpc.NewServerWith(prov, p.Contract(), rpc.Config{EnablePprof: *pprofOn})
-	if err := http.ListenAndServe(*addr, server); err != nil {
+	if err := rpc.NewHTTPServer(*addr, server, *rpcTimeout).ListenAndServe(); err != nil {
 		fmt.Fprintf(os.Stderr, "smartcrowd: serve: %v\n", err)
 		return 1
 	}

@@ -43,6 +43,8 @@ func cmdNode(args []string) int {
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof on the RPC listener (operator use only)")
 	parallelism := fs.Int("parallelism", runtime.GOMAXPROCS(0),
 		"worker count for optimistic parallel block execution (1 = serial, for debugging)")
+	rpcTimeout := fs.Duration("rpc-timeout", 0,
+		"read/write deadline per RPC request (0 = 30s defaults); header and idle deadlines are always set")
 	_ = fs.Parse(args)
 
 	fail := func(err error) int {
@@ -90,8 +92,11 @@ func cmdNode(args []string) int {
 
 	if *rpcAddr != "" {
 		server := rpc.NewServerWith(prov, sc, rpc.Config{EnablePprof: *pprofOn})
+		// Deadlines on every connection phase keep slow-loris clients
+		// from pinning handler goroutines on an unattended listener.
+		httpSrv := rpc.NewHTTPServer(*rpcAddr, server, *rpcTimeout)
 		go func() {
-			if err := http.ListenAndServe(*rpcAddr, server); err != nil {
+			if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintf(os.Stderr, "smartcrowd: node: rpc: %v\n", err)
 			}
 		}()

@@ -82,11 +82,19 @@ func loadFixture(t *testing.T, name, asPath string) *Package {
 // assertions (the allowlist test reuses them).
 func runFixture(t *testing.T, passName, asPath string) []Finding {
 	t.Helper()
+	return runFixtureAs(t, passName, passName, asPath)
+}
+
+// runFixtureAs is runFixture with an explicit fixture directory, for
+// passes with more than one fixture (locksafe has a chain/txpool fixture
+// and an rpc fixture).
+func runFixtureAs(t *testing.T, fixture, passName, asPath string) []Finding {
+	t.Helper()
 	pass := PassByName(passName)
 	if pass == nil {
 		t.Fatalf("unknown pass %q", passName)
 	}
-	pkg := loadFixture(t, passName, asPath)
+	pkg := loadFixture(t, fixture, asPath)
 	findings := pass.Run(pkg)
 	wants := parseWants(t, pkg)
 	if len(wants) == 0 {

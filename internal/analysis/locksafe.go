@@ -17,6 +17,16 @@ var lockedPkgs = []string{
 	"internal/txpool",
 }
 
+// rpcChainAllowed lists the *chain.Chain methods internal/rpc may call:
+// the two that never touch the chain mutex. Everything else either takes
+// c.mu outright or returns data guarded by it, and the whole point of the
+// ReadView redesign is that no handler ever does that — one slow import
+// must not be able to stall a million polling consumers (or vice versa).
+var rpcChainAllowed = map[string]bool{
+	"CurrentView": true, // one atomic pointer load
+	"Config":      true, // immutable after New
+}
+
 // passLocksafe flags expensive or non-deterministic work lexically
 // inside a mu.Lock()…mu.Unlock() region: direct calls into
 // internal/crypto/keccak or internal/crypto/secp256k1, blocking batch
@@ -30,9 +40,17 @@ var lockedPkgs = []string{
 // `defer mu.Unlock()` keeps the region open to the end of the function;
 // goroutine bodies launched inside the region (`go func(){…}()`) run
 // outside the lock and are skipped.
+//
+// In internal/rpc the pass enforces the inverse discipline: read
+// handlers must serve from a pinned chain.ReadView, so any *chain.Chain
+// method call other than CurrentView/Config — every other method
+// acquires the chain mutex — is flagged. Calls laundered through an
+// interface (e.g. the ChainReader the locked oracle mode satisfies) are
+// invisible to static receiver typing; the rule guards the direct-call
+// paths where the mutex historically crept in.
 var passLocksafe = &Pass{
 	Name: "locksafe",
-	Doc:  "no ECDSA recovery, keccak hashing, or wall-clock reads inside mutex critical sections in chain/txpool",
+	Doc:  "no crypto or clock reads inside chain/txpool critical sections; no mutex-taking chain calls in rpc handlers",
 	Run:  runLocksafe,
 }
 
@@ -51,6 +69,9 @@ const (
 )
 
 func runLocksafe(p *Package) []Finding {
+	if hasPathSuffix(p.ImportPath, "internal/rpc") {
+		return locksafeRPC(p)
+	}
 	if !hasPathSuffix(p.ImportPath, lockedPkgs...) {
 		return nil
 	}
@@ -138,6 +159,60 @@ func locksafeFunc(p *Package, body *ast.BlockStmt) []Finding {
 		}
 	}
 	return out
+}
+
+// locksafeRPC flags direct *chain.Chain method calls in internal/rpc
+// outside the lock-free allowlist.
+func locksafeRPC(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := chainMethodCallee(p.Info, call)
+			if !ok || rpcChainAllowed[name] {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  p.Fset.Position(call.Pos()),
+				Pass: "locksafe",
+				Msg: "call to (*chain.Chain)." + name + " in internal/rpc; " +
+					"serve reads from a pinned ReadView (CurrentView), not the chain mutex",
+			})
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out
+}
+
+// chainMethodCallee reports the method name when call invokes a method
+// whose receiver is chain.Chain (by value or pointer).
+func chainMethodCallee(info *types.Info, call *ast.CallExpr) (string, bool) {
+	obj := calleeObj(info, call)
+	if obj == nil || obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/chain") {
+		return "", false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Chain" {
+		return "", false
+	}
+	return obj.Name(), true
 }
 
 func isDeferredCall(deferred []*ast.CallExpr, call *ast.CallExpr) bool {

@@ -25,6 +25,10 @@ func TestLocksafeFixture(t *testing.T) {
 	runFixture(t, "locksafe", modPrefix+"internal/chain")
 }
 
+func TestLocksafeRPCFixture(t *testing.T) {
+	runFixtureAs(t, "locksafe_rpc", "locksafe", modPrefix+"internal/rpc")
+}
+
 func TestMetricnameFixture(t *testing.T) {
 	runFixture(t, "metricname", modPrefix+"internal/node")
 }
@@ -41,6 +45,7 @@ func TestPassesScopedToTheirPackages(t *testing.T) {
 	for _, tc := range []struct{ fixture, pass, asPath string }{
 		{"detsource", "detsource", modPrefix + "internal/telemetry"},
 		{"locksafe", "locksafe", modPrefix + "internal/node"},
+		{"locksafe_rpc", "locksafe", modPrefix + "internal/node"},
 		{"boundalloc", "boundalloc", modPrefix + "internal/chain"},
 	} {
 		pkg := loadFixture(t, tc.fixture, tc.asPath)

@@ -176,6 +176,7 @@ func All() []Experiment {
 		{ID: "chaincore", Title: "Chain-core hot paths: insert throughput, state root, detection query", Run: ChainCore},
 		{ID: "syncpipeline", Title: "Sync pipeline: batched InsertChain vs serial re-verification", Run: SyncPipeline},
 		{ID: "execpar", Title: "Execution parallelism: optimistic parallel stage 2 vs serial oracle", Run: ExecPar},
+		{ID: "rpcload", Title: "RPC read path: lock-free view + response cache vs mutex oracle", Run: RPCLoad},
 	}
 }
 

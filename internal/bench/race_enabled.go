@@ -1,0 +1,10 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in; rpcload
+// shrinks its request storm and demotes its latency gates to notes under
+// -race, where the detector's ~10x slowdown makes wall-clock percentiles
+// meaningless (the run itself stays — it is the read path's best race
+// exerciser).
+const raceEnabled = true

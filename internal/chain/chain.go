@@ -101,27 +101,48 @@ type entry struct {
 type txLoc struct {
 	blockID types.Hash
 	number  uint64
+	txIdx   int
 	receipt *Receipt
 }
 
 // Chain is the block store plus fork choice. It is safe for concurrent
 // use.
+//
+// Everything a ReadView shares with lock-free readers — canon, sraIndex,
+// the two trie indexes, committed post-states — obeys a publish-only
+// discipline: the writer may extend or path-copy, but never mutates data
+// reachable from a published view (see view.go for the full contract).
 type Chain struct {
 	mu      sync.RWMutex
 	cfg     Config
 	genesis *entry
 	entries map[types.Hash]*entry
 	head    *entry
-	canon   []*entry // canonical chain, canon[i].block.Header.Number == i
-	txIndex map[types.Hash]txLoc
-	// detIndex maps an SRA id to its canonical detection records in chain
-	// order, maintained incrementally by setHead exactly like txIndex, so
-	// consumer queries are a map lookup instead of a full-chain scan.
-	detIndex map[types.Hash][]DetectionRecord
+	// canon is the canonical chain, canon[i].block.Header.Number == i.
+	// Published views alias its backing array, so setHead must copy the
+	// kept prefix out before truncating on a reorg — truncate-then-append
+	// in place would overwrite elements older views still index.
+	canon []*entry
+	// txTrie maps tx hash → canonical location via a persistent crit-bit
+	// trie (htrie.go): updates path-copy, so a ReadView pins the index by
+	// holding a root pointer, and the chain's own locked reads share the
+	// same structure.
+	txTrie *htnode[txLoc]
+	// detTrie maps an SRA id to its canonical detection records in chain
+	// order, maintained incrementally by setHead exactly like txTrie, so
+	// consumer queries are a trie lookup instead of a full-chain scan.
+	// Record slices are grown with full-capacity expressions so an append
+	// for a new block never writes into an array a view can reach.
+	detTrie *htnode[[]DetectionRecord]
 	// sraIndex lists successful SRA announcements on the canonical chain
 	// in chain order (ascending block number), maintained by setHead. It
 	// backs the paginated /v1/sras listing without scanning the chain.
+	// Same copy-on-truncate rule as canon.
 	sraIndex []SRARef
+	// view is the latest published read snapshot (view.go). Swapped by
+	// publishView at the end of every head switch; read via CurrentView
+	// with no lock.
+	view atomic.Pointer[ReadView]
 }
 
 // New creates a chain with a genesis block derived from the config's
@@ -145,14 +166,13 @@ func New(cfg Config) (*Chain, error) {
 	}
 	g := &entry{block: genesis, post: st}
 	c := &Chain{
-		cfg:      cfg,
-		genesis:  g,
-		entries:  map[types.Hash]*entry{genesis.ID(): g},
-		head:     g,
-		canon:    []*entry{g},
-		txIndex:  make(map[types.Hash]txLoc),
-		detIndex: make(map[types.Hash][]DetectionRecord),
+		cfg:     cfg,
+		genesis: g,
+		entries: map[types.Hash]*entry{genesis.ID(): g},
+		head:    g,
+		canon:   []*entry{g},
 	}
+	c.publishView()
 	return c, nil
 }
 
@@ -257,6 +277,26 @@ func (c *Chain) BlockByNumber(n uint64) (*types.Block, error) {
 		return nil, fmt.Errorf("%w: height %d beyond head %d", ErrUnknownBlock, n, len(c.canon)-1)
 	}
 	return c.canon[n].block, nil
+}
+
+// BlocksRange returns the canonical blocks from..to (inclusive) under one
+// lock acquisition, so a concurrent reorg cannot mix blocks from two
+// forks into the result. Ranges past the head are truncated; an inverted
+// or out-of-range request yields nil.
+func (c *Chain) BlocksRange(from, to uint64) []*types.Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if from >= uint64(len(c.canon)) || to < from {
+		return nil
+	}
+	if to >= uint64(len(c.canon)) {
+		to = uint64(len(c.canon)) - 1
+	}
+	out := make([]*types.Block, 0, to-from+1)
+	for n := from; n <= to; n++ {
+		out = append(out, c.canon[n].block)
+	}
+	return out
 }
 
 // HasBlock reports whether the block is known (canonical or not).
@@ -498,9 +538,15 @@ func (c *Chain) verifyShape(blk *types.Block) error {
 	return blk.VerifyShape()
 }
 
-// setHead switches the canonical chain to the branch ending at e and
+// setHead switches the canonical chain to the branch ending at e,
 // rebuilds the transaction and detection indexes across the changed
-// suffix.
+// suffix, and publishes a fresh ReadView.
+//
+// Because published views alias canon, sraIndex and the trie roots, the
+// rebuild never mutates shared structure: trie updates path-copy, and a
+// reorg copies the kept prefix of canon/sraIndex into fresh arrays
+// before appending — truncating in place and re-appending would
+// overwrite the abandoned suffix older views still read.
 func (c *Chain) setHead(e *entry) {
 	// Build the new canonical path back to a block already canonical.
 	var path []*entry
@@ -516,52 +562,62 @@ func (c *Chain) setHead(e *entry) {
 	forkPoint := cursor.block.Header.Number
 	if forkPoint+1 < uint64(len(c.canon)) {
 		mReorgs.Inc()
-	}
 
-	// Remove receipts, detection records and SRA listings of the
-	// abandoned suffix. Detection records per SRA and the SRA index are
-	// in ascending block order, so the abandoned entries form a tail.
-	for len(c.sraIndex) > 0 && c.sraIndex[len(c.sraIndex)-1].BlockNumber > forkPoint {
-		c.sraIndex = c.sraIndex[:len(c.sraIndex)-1]
-	}
-	dropped := make(map[types.Hash]struct{})
-	for i := forkPoint + 1; i < uint64(len(c.canon)); i++ {
-		for _, tx := range c.canon[i].block.Txs {
-			delete(c.txIndex, tx.Hash())
-			if sraID, ok := reportSRAID(tx); ok {
-				dropped[sraID] = struct{}{}
+		// Reorg: unindex the abandoned suffix. Detection records per SRA
+		// and the SRA index are in ascending block order, so abandoned
+		// entries form a tail; record-slice truncation reallocates (full
+		// slice expression) instead of retreating len over a shared array.
+		dropped := make(map[types.Hash]struct{})
+		for i := forkPoint + 1; i < uint64(len(c.canon)); i++ {
+			for _, tx := range c.canon[i].block.Txs {
+				c.txTrie = htDelete(c.txTrie, tx.Hash())
+				if sraID, ok := reportSRAID(tx); ok {
+					dropped[sraID] = struct{}{}
+				}
 			}
 		}
-	}
-	for sraID := range dropped {
-		recs := c.detIndex[sraID]
-		for len(recs) > 0 && recs[len(recs)-1].BlockNumber > forkPoint {
-			recs = recs[:len(recs)-1]
+		for sraID := range dropped {
+			recs, _ := htGet(c.detTrie, sraID)
+			keep := len(recs)
+			for keep > 0 && recs[keep-1].BlockNumber > forkPoint {
+				keep--
+			}
+			if keep == 0 {
+				c.detTrie = htDelete(c.detTrie, sraID)
+			} else {
+				c.detTrie = htUpsert(c.detTrie, sraID, recs[:keep:keep])
+			}
 		}
-		if len(recs) == 0 {
-			delete(c.detIndex, sraID)
-		} else {
-			c.detIndex[sraID] = recs
+
+		keepSRA := len(c.sraIndex)
+		for keepSRA > 0 && c.sraIndex[keepSRA-1].BlockNumber > forkPoint {
+			keepSRA--
 		}
+		c.sraIndex = append([]SRARef(nil), c.sraIndex[:keepSRA]...)
+		c.canon = append([]*entry(nil), c.canon[:forkPoint+1]...)
 	}
-	c.canon = c.canon[:forkPoint+1]
 
 	// Append the new suffix (path is head→forkPoint+1, reverse it).
 	for i := len(path) - 1; i >= 0; i-- {
 		en := path[i]
 		c.canon = append(c.canon, en)
 		for j, tx := range en.block.Txs {
-			c.txIndex[tx.Hash()] = txLoc{
+			c.txTrie = htUpsert(c.txTrie, tx.Hash(), txLoc{
 				blockID: en.block.ID(),
 				number:  en.block.Header.Number,
+				txIdx:   j,
 				receipt: en.receipts[j],
-			}
+			})
 			if sraID, ok := reportSRAID(tx); ok {
-				c.detIndex[sraID] = append(c.detIndex[sraID], DetectionRecord{
+				recs, _ := htGet(c.detTrie, sraID)
+				// Full-capacity expression: the append below must land in
+				// a fresh array, never in spare capacity a view aliases.
+				recs = append(recs[:len(recs):len(recs)], DetectionRecord{
 					BlockNumber: en.block.Header.Number,
 					Tx:          tx,
 					Receipt:     en.receipts[j],
 				})
+				c.detTrie = htUpsert(c.detTrie, sraID, recs)
 			}
 			if tx.Kind == types.TxSRA && en.receipts[j].Success {
 				if sra, err := tx.SRA(); err == nil {
@@ -575,6 +631,7 @@ func (c *Chain) setHead(e *entry) {
 	}
 	c.head = e
 	mHeadHeight.Set(int64(e.block.Header.Number))
+	c.publishView()
 }
 
 // reportSRAID extracts the SRA a detection-report transaction refers to.
@@ -596,7 +653,7 @@ func reportSRAID(tx *types.Transaction) (types.Hash, bool) {
 func (c *Chain) ReceiptOf(txHash types.Hash) (*Receipt, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	loc, ok := c.txIndex[txHash]
+	loc, ok := htGet(c.txTrie, txHash)
 	if !ok {
 		return nil, fmt.Errorf("%w: tx %s not on canonical chain", ErrUnknownBlock, txHash.Short())
 	}
@@ -608,11 +665,23 @@ func (c *Chain) ReceiptOf(txHash types.Hash) (*Receipt, error) {
 func (c *Chain) Confirmations(txHash types.Hash) uint64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	loc, ok := c.txIndex[txHash]
+	loc, ok := htGet(c.txTrie, txHash)
 	if !ok {
 		return 0
 	}
 	return c.head.block.Header.Number - loc.number + 1
+}
+
+// TxLocation resolves a canonical transaction to its block id, height and
+// in-block index — the inputs a Merkle inclusion proof needs.
+func (c *Chain) TxLocation(txHash types.Hash) (blockID types.Hash, number uint64, txIdx int, ok bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	loc, found := htGet(c.txTrie, txHash)
+	if !found {
+		return types.Hash{}, 0, 0, false
+	}
+	return loc.blockID, loc.number, loc.txIdx, true
 }
 
 // Confirmed reports whether a transaction has reached the configured
@@ -677,7 +746,7 @@ type DetectionRecord struct {
 func (c *Chain) DetectionResults(sraID types.Hash) []DetectionRecord {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	recs := c.detIndex[sraID]
+	recs, _ := htGet(c.detTrie, sraID)
 	if len(recs) == 0 {
 		return nil
 	}

@@ -1,0 +1,156 @@
+package chain
+
+import (
+	"math/bits"
+
+	"github.com/smartcrowd/smartcrowd/internal/types"
+)
+
+// htrie is a persistent (immutable, structurally shared) crit-bit trie
+// keyed by 32-byte hashes. It backs the chain's transaction and
+// detection indexes so that a ReadView can pin the index state at a head
+// without copying it: every update path-copies the O(log n) nodes from
+// the changed leaf to the root and shares everything else, exactly like
+// the state commitment trie (state/trie.go) — minus the hashing, since
+// these indexes commit to nothing.
+//
+// Published roots are therefore safe for concurrent lock-free readers:
+// a reader holding a root sees the index exactly as it was when that
+// root was installed, no matter how many inserts, deletes or reorgs the
+// writer has run since.
+
+// htnode is one immutable node. Leaves have bit == -1 and carry
+// key/val; branches carry the index of the first bit on which their two
+// subtrees disagree (left = 0, right = 1).
+type htnode[V any] struct {
+	bit         int16
+	left, right *htnode[V]
+	key         types.Hash
+	val         V
+}
+
+// hashBit returns bit i of h, counting from the most significant bit of
+// h[0] — the order in which hashes compare lexicographically.
+func hashBit(h types.Hash, i int) int {
+	return int(h[i>>3]>>(7-uint(i&7))) & 1
+}
+
+// hashFirstDiffBit returns the index of the first bit on which a and b
+// differ; a and b must not be equal.
+func hashFirstDiffBit(a, b types.Hash) int {
+	for i := range a {
+		if x := a[i] ^ b[i]; x != 0 {
+			return i*8 + bits.LeadingZeros8(x)
+		}
+	}
+	panic("chain: hashFirstDiffBit on equal hashes")
+}
+
+// htGet returns the value bound to key, if any.
+func htGet[V any](n *htnode[V], key types.Hash) (V, bool) {
+	for n != nil && n.bit >= 0 {
+		if hashBit(key, int(n.bit)) == 0 {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if n != nil && n.key == key {
+		return n.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// htUpsert returns the trie with key bound to val. The original is
+// untouched; unchanged subtrees are shared.
+func htUpsert[V any](n *htnode[V], key types.Hash, val V) *htnode[V] {
+	if n == nil {
+		return &htnode[V]{bit: -1, key: key, val: val}
+	}
+	// Walk to the candidate leaf along key's own bit path; crit-bit
+	// structure guarantees it is the only leaf key can collide with.
+	cand := n
+	for cand.bit >= 0 {
+		if hashBit(key, int(cand.bit)) == 0 {
+			cand = cand.left
+		} else {
+			cand = cand.right
+		}
+	}
+	if cand.key == key {
+		return htReplace(n, key, val)
+	}
+	return htSplit(n, key, val, int16(hashFirstDiffBit(key, cand.key)))
+}
+
+// htReplace rewrites the existing leaf for key, path-copying down.
+func htReplace[V any](n *htnode[V], key types.Hash, val V) *htnode[V] {
+	if n.bit < 0 {
+		return &htnode[V]{bit: -1, key: key, val: val}
+	}
+	if hashBit(key, int(n.bit)) == 0 {
+		return &htnode[V]{bit: n.bit, left: htReplace(n.left, key, val), right: n.right}
+	}
+	return &htnode[V]{bit: n.bit, left: n.left, right: htReplace(n.right, key, val)}
+}
+
+// htSplit inserts a new leaf whose first divergence from the existing
+// keys on its path is at bit d: the new branch lands above the first
+// node that branches at or past d.
+func htSplit[V any](n *htnode[V], key types.Hash, val V, d int16) *htnode[V] {
+	if n.bit < 0 || n.bit > d {
+		leaf := &htnode[V]{bit: -1, key: key, val: val}
+		if hashBit(key, int(d)) == 0 {
+			return &htnode[V]{bit: d, left: leaf, right: n}
+		}
+		return &htnode[V]{bit: d, left: n, right: leaf}
+	}
+	if hashBit(key, int(n.bit)) == 0 {
+		return &htnode[V]{bit: n.bit, left: htSplit(n.left, key, val, d), right: n.right}
+	}
+	return &htnode[V]{bit: n.bit, left: n.left, right: htSplit(n.right, key, val, d)}
+}
+
+// htDelete returns the trie without key; deleting an absent key returns
+// the original root pointer.
+func htDelete[V any](n *htnode[V], key types.Hash) *htnode[V] {
+	if n == nil {
+		return nil
+	}
+	if n.bit < 0 {
+		if n.key == key {
+			return nil
+		}
+		return n
+	}
+	if hashBit(key, int(n.bit)) == 0 {
+		child := htDelete(n.left, key)
+		switch {
+		case child == n.left:
+			return n
+		case child == nil:
+			return n.right // branch collapses onto its sibling
+		}
+		return &htnode[V]{bit: n.bit, left: child, right: n.right}
+	}
+	child := htDelete(n.right, key)
+	switch {
+	case child == n.right:
+		return n
+	case child == nil:
+		return n.left
+	}
+	return &htnode[V]{bit: n.bit, left: n.left, right: child}
+}
+
+// htCount returns the number of leaves — O(n), for tests and debugging.
+func htCount[V any](n *htnode[V]) int {
+	if n == nil {
+		return 0
+	}
+	if n.bit < 0 {
+		return 1
+	}
+	return htCount(n.left) + htCount(n.right)
+}

@@ -24,6 +24,9 @@ var (
 	mExecParConflicts   = telemetry.GetCounter("smartcrowd_chain_exec_parallel_conflicts_total")
 	mExecParReexecs     = telemetry.GetCounter("smartcrowd_chain_exec_parallel_reexec_total")
 	mExecParFallbacks   = telemetry.GetCounter("smartcrowd_chain_exec_parallel_fallback_total")
+
+	// Read-view publication (view.go).
+	mViewPublished = telemetry.GetCounter("smartcrowd_chain_view_published_total")
 )
 
 func init() {
@@ -37,6 +40,7 @@ func init() {
 	telemetry.SetHelp("smartcrowd_chain_exec_parallel_conflicts_total", "speculative transactions whose read/write sets collided with earlier writes")
 	telemetry.SetHelp("smartcrowd_chain_exec_parallel_reexec_total", "transactions re-executed serially after a conflict ended the clean prefix")
 	telemetry.SetHelp("smartcrowd_chain_exec_parallel_fallback_total", "blocks that abandoned speculation for the serial oracle (dense conflict graph)")
+	telemetry.SetHelp("smartcrowd_chain_view_published_total", "ReadView snapshots published by head switches")
 }
 
 // recordImport classifies a per-block import outcome into the counter

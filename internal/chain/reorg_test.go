@@ -44,7 +44,7 @@ func assertIndexesMatchScan(t *testing.T, c *Chain, sraIDs ...types.Hash) {
 		}
 	}
 	c.mu.RLock()
-	extra := len(c.txIndex) - len(canonical)
+	extra := htCount(c.txTrie) - len(canonical)
 	c.mu.RUnlock()
 	if extra != 0 {
 		t.Fatalf("txIndex holds %d non-canonical entries", extra)

@@ -5,14 +5,24 @@ import (
 
 	"github.com/smartcrowd/smartcrowd/internal/chain"
 	"github.com/smartcrowd/smartcrowd/internal/contract"
+	"github.com/smartcrowd/smartcrowd/internal/state"
 	"github.com/smartcrowd/smartcrowd/internal/types"
 )
+
+// ReferenceReader is the read surface a consumer lookup needs. Both
+// *chain.Chain (locked reads) and *chain.ReadView (a lock-free head
+// snapshot) satisfy it, so the RPC layer can assemble references from a
+// pinned view without touching the chain mutex.
+type ReferenceReader interface {
+	State() *state.DB
+	DetectionResults(sraID types.Hash) []chain.DetectionRecord
+}
 
 // Consumer is an IoT consumer client: before deploying a released system
 // it looks up the blockchain and obtains an authoritative, complete and
 // consistent reference of the system's detection results (paper §IV-A).
 type Consumer struct {
-	chain    *chain.Chain
+	chain    ReferenceReader
 	contract *contract.Contract
 	// MaxTolerated is the most confirmed vulnerabilities the consumer
 	// accepts before advising against deployment ("consumers can deploy
@@ -20,8 +30,9 @@ type Consumer struct {
 	MaxTolerated uint64
 }
 
-// NewConsumer builds a consumer client over a provider's chain.
-func NewConsumer(c *chain.Chain, sc *contract.Contract, maxTolerated uint64) *Consumer {
+// NewConsumer builds a consumer client over a provider's chain (or a
+// pinned read view of it).
+func NewConsumer(c ReferenceReader, sc *contract.Contract, maxTolerated uint64) *Consumer {
 	return &Consumer{chain: c, contract: sc, MaxTolerated: maxTolerated}
 }
 

@@ -1,0 +1,356 @@
+package rpc
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/smartcrowd/smartcrowd/internal/chain"
+	"github.com/smartcrowd/smartcrowd/internal/contract"
+	"github.com/smartcrowd/smartcrowd/internal/detection"
+	"github.com/smartcrowd/smartcrowd/internal/node"
+	"github.com/smartcrowd/smartcrowd/internal/p2p"
+	"github.com/smartcrowd/smartcrowd/internal/types"
+	"github.com/smartcrowd/smartcrowd/internal/wallet"
+)
+
+// rawGet fetches base+path and returns the response with its body fully
+// read, so tests can assert on exact bytes and headers. inm, when
+// non-empty, is sent as If-None-Match.
+func rawGet(t *testing.T, base, path, inm string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest("GET", base+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// newForkProvider builds a provider with a deterministic genesis shared
+// by every call: same allocation, same contract parameters. Distinct
+// instances can therefore exchange blocks and reorg one another.
+func newForkProvider(t *testing.T, id string, alice *wallet.Wallet) *node.ProviderNode {
+	t.Helper()
+	sc := contract.New(contract.DefaultParams(), detection.NewGroundTruthVerifier(false))
+	cfg := chain.DefaultConfig(sc)
+	cfg.SkipPoWCheck = true
+	cfg.Alloc = map[types.Address]types.Amount{alice.Address(): types.EtherAmount(5000)}
+	prov, err := node.NewProvider(p2p.NodeID(id), wallet.NewDeterministic("miner"), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prov
+}
+
+func mineOn(t *testing.T, prov *node.ProviderNode) {
+	t.Helper()
+	head := prov.Chain().Head()
+	if _, err := prov.MineBlock(head.Header.Time+15_000, 1000, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheReorgInvalidation is the satellite guarantee: after a fork
+// switch, no head-keyed answer computed against the losing branch is
+// ever served again. Branch A carries a transfer; branch B (heavier)
+// does not. Every cached answer that mentioned the transfer must change
+// the moment B wins.
+func TestCacheReorgInvalidation(t *testing.T) {
+	alice := wallet.NewDeterministic("alice")
+	payee := types.Address{0xAB, 0xCD}
+	provA := newForkProvider(t, "fork-a", alice)
+	provB := newForkProvider(t, "fork-b", alice)
+	if provA.Chain().Genesis().ID() != provB.Chain().Genesis().ID() {
+		t.Fatal("fork providers disagree on genesis")
+	}
+
+	// Branch A: one block carrying alice → payee.
+	tx := &types.Transaction{
+		Kind:     types.TxTransfer,
+		Nonce:    0,
+		To:       payee,
+		Value:    types.EtherAmount(7),
+		GasLimit: 21_000,
+		GasPrice: 50 * types.GWei,
+	}
+	if err := types.SignTx(tx, alice); err != nil {
+		t.Fatal(err)
+	}
+	if err := provA.SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	mineOn(t, provA)
+
+	// Branch B: two empty blocks — strictly heavier.
+	mineOn(t, provB)
+	mineOn(t, provB)
+
+	sc := provA.Chain().Config().Contract
+	srv := httptest.NewServer(NewServerWith(provA, sc, Config{}))
+	defer srv.Close()
+
+	balPath := "/v1/balance/" + payee.String()
+	resp, body := rawGet(t, srv.URL, balPath, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("balance returned %d", resp.StatusCode)
+	}
+	if !bytes.Contains(body, []byte(`"ether":7`)) {
+		t.Fatalf("pre-reorg balance body %s, want 7 ether", body)
+	}
+	balETag := resp.Header.Get("ETag")
+
+	// Warm more head-keyed entries, then serve the balance again from
+	// cache to prove it is cached at all.
+	stResp, stBody := rawGet(t, srv.URL, "/v1/status", "")
+	recResp, _ := rawGet(t, srv.URL, "/v1/receipt/"+tx.Hash().String(), "")
+	if recResp.StatusCode != http.StatusOK {
+		t.Fatalf("receipt returned %d pre-reorg", recResp.StatusCode)
+	}
+	hits0 := mCacheHitHead.Value()
+	if _, again := rawGet(t, srv.URL, balPath, ""); !bytes.Equal(again, body) {
+		t.Fatal("cached balance body differs from first answer")
+	}
+	if mCacheHitHead.Value() == hits0 {
+		t.Fatal("second balance read did not hit the head cache")
+	}
+
+	// The reorg: branch B's blocks displace branch A.
+	evict0 := mCacheEvict.Value()
+	if _, err := provA.Chain().InsertChain(provB.Chain().CanonicalBlocks()[1:]); err != nil {
+		t.Fatal(err)
+	}
+	if provA.Chain().HeadNumber() != 2 {
+		t.Fatalf("reorg did not take: head %d", provA.Chain().HeadNumber())
+	}
+
+	// Balance must be recomputed: the transfer never happened on B.
+	resp, body = rawGet(t, srv.URL, balPath, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-reorg balance returned %d", resp.StatusCode)
+	}
+	if !bytes.Contains(body, []byte(`"gwei":0`)) {
+		t.Fatalf("post-reorg balance body %s, want zero", body)
+	}
+	if got := resp.Header.Get("ETag"); got == balETag {
+		t.Fatal("post-reorg balance kept the stale ETag")
+	}
+	// A stale validator must revalidate to a full 200, never a 304.
+	if resp304, _ := rawGet(t, srv.URL, balPath, balETag); resp304.StatusCode != http.StatusOK {
+		t.Fatalf("stale ETag revalidated to %d, want 200", resp304.StatusCode)
+	}
+
+	// Status flips to the new head; the receipt of the orphaned transfer
+	// is gone from the canonical chain.
+	stResp2, stBody2 := rawGet(t, srv.URL, "/v1/status", "")
+	if bytes.Equal(stBody2, stBody) || stResp2.Header.Get("ETag") == stResp.Header.Get("ETag") {
+		t.Fatal("status served the pre-reorg answer after the fork switch")
+	}
+	if recResp2, _ := rawGet(t, srv.URL, "/v1/receipt/"+tx.Hash().String(), ""); recResp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("orphaned receipt returned %d, want 404", recResp2.StatusCode)
+	}
+	// The losing generation (≥3 entries) was discarded wholesale.
+	if mCacheEvict.Value() == evict0 {
+		t.Fatal("reorg did not evict the stale head generation")
+	}
+}
+
+// TestCacheETagAndTiers pins the HTTP caching contract: head-keyed
+// answers carry no-cache + a strong ETag that 304s until the head
+// moves; finalized objects advertise themselves immutable.
+func TestCacheETagAndTiers(t *testing.T) {
+	e := newEnv(t) // head = 3
+	srv := httptest.NewServer(NewServerWith(e.provider, e.sc, Config{FinalityDepth: 1}))
+	defer srv.Close()
+
+	// Head tier: /v1/status.
+	resp, body := rawGet(t, srv.URL, "/v1/status", "")
+	if cc := resp.Header.Get("Cache-Control"); cc != "public, no-cache" {
+		t.Errorf("status Cache-Control %q", cc)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("status has no ETag")
+	}
+	if resp304, b := rawGet(t, srv.URL, "/v1/status", etag); resp304.StatusCode != http.StatusNotModified || len(b) != 0 {
+		t.Fatalf("revalidation: status %d body %q, want bodyless 304", resp304.StatusCode, b)
+	}
+
+	// Finalized tier: block 1 is 2 deep ≥ K=1.
+	permMiss0, permHit0 := mCacheMissPerm.Value(), mCacheHitPerm.Value()
+	bResp, bBody := rawGet(t, srv.URL, "/v1/block/1", "")
+	if cc := bResp.Header.Get("Cache-Control"); cc != "public, max-age=31536000, immutable" {
+		t.Errorf("finalized block Cache-Control %q", cc)
+	}
+	if mCacheMissPerm.Value() != permMiss0+1 {
+		t.Error("finalized block did not register a perm-tier miss")
+	}
+	if _, bBody2 := rawGet(t, srv.URL, "/v1/block/1", ""); !bytes.Equal(bBody2, bBody) {
+		t.Fatal("finalized block bytes changed between reads")
+	}
+	if mCacheHitPerm.Value() != permHit0+1 {
+		t.Error("second finalized read did not hit the perm tier")
+	}
+
+	// The head block (depth 0 < K) stays head-keyed.
+	if hResp, _ := rawGet(t, srv.URL, "/v1/block/3", ""); hResp.Header.Get("Cache-Control") != "public, no-cache" {
+		t.Errorf("head block Cache-Control %q", hResp.Header.Get("Cache-Control"))
+	}
+
+	// Cached 404s revalidate with a full body: only 200s may 304.
+	nResp, _ := rawGet(t, srv.URL, "/v1/block/99", "")
+	if nResp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing block returned %d", nResp.StatusCode)
+	}
+	if nResp2, b := rawGet(t, srv.URL, "/v1/block/99", nResp.Header.Get("ETag")); nResp2.StatusCode != http.StatusNotFound || len(b) == 0 {
+		t.Fatalf("cached 404 revalidated to %d with body %q", nResp2.StatusCode, b)
+	}
+	_ = body
+}
+
+// TestLockedAndViewBodiesIdentical asserts the oracle property the
+// rpcload bench relies on: the locked mutex path, the bare view path
+// and the cached view path produce byte-identical responses for every
+// read route — including cache hits.
+func TestLockedAndViewBodiesIdentical(t *testing.T) {
+	e := newEnv(t)
+	locked := httptest.NewServer(NewServerWith(e.provider, e.sc, Config{UseLockedReads: true}))
+	defer locked.Close()
+	bare := httptest.NewServer(NewServerWith(e.provider, e.sc, Config{DisableCache: true}))
+	defer bare.Close()
+	cached := httptest.NewServer(NewServerWith(e.provider, e.sc, Config{}))
+	defer cached.Close()
+
+	paths := []string{
+		"/v1/status",
+		"/v1/block/0",
+		"/v1/block/1",
+		"/v1/block/99",
+		"/v1/blocks?from=0&to=3",
+		"/v1/balance/" + e.detector.Address().String(),
+		"/v1/receipt/" + e.dtxHash.String(),
+		"/v1/sra/" + e.sra.ID.String(),
+		"/v1/sras",
+		"/v1/reference/" + e.sra.ID.String(),
+		"/v1/proof/" + e.dtxHash.String(),
+	}
+	for _, path := range paths {
+		lResp, lBody := rawGet(t, locked.URL, path, "")
+		vResp, vBody := rawGet(t, bare.URL, path, "")
+		cResp, cBody := rawGet(t, cached.URL, path, "")
+		_, cBody2 := rawGet(t, cached.URL, path, "") // cache hit
+		if lResp.StatusCode != vResp.StatusCode || lResp.StatusCode != cResp.StatusCode {
+			t.Errorf("%s: status locked=%d view=%d cached=%d", path, lResp.StatusCode, vResp.StatusCode, cResp.StatusCode)
+			continue
+		}
+		if !bytes.Equal(lBody, vBody) {
+			t.Errorf("%s: view body diverges from locked oracle\nlocked: %s\nview:   %s", path, lBody, vBody)
+		}
+		if !bytes.Equal(lBody, cBody) || !bytes.Equal(lBody, cBody2) {
+			t.Errorf("%s: cached body diverges from locked oracle", path)
+		}
+	}
+}
+
+// TestCacheSingleflight drives many concurrent misses for one key at the
+// cache layer and asserts exactly one build ran and everyone got its
+// bytes.
+func TestCacheSingleflight(t *testing.T) {
+	c := newRespCache()
+	head := types.HashBytes([]byte("head"))
+	var builds atomic.Int64
+	build := func() (int, []byte) {
+		builds.Add(1)
+		time.Sleep(10 * time.Millisecond) // widen the race window
+		return http.StatusOK, []byte("{\"x\":1}\n")
+	}
+	const n = 32
+	results := make([]*cacheEntry, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.headGetOrBuild(head, "k", build)
+		}(i)
+	}
+	wg.Wait()
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("build ran %d times, want 1", got)
+	}
+	for i, e := range results {
+		if e.status != http.StatusOK || !bytes.Equal(e.body, results[0].body) || e.etag != results[0].etag {
+			t.Fatalf("waiter %d got a different entry: %+v", i, e)
+		}
+	}
+
+	// A panicking build must not wedge waiters or poison the key.
+	func() {
+		defer func() { _ = recover() }()
+		c.headGetOrBuild(head, "boom", func() (int, []byte) { panic("build died") })
+	}()
+	if e := c.headGetOrBuild(head, "boom", func() (int, []byte) { return http.StatusOK, []byte("ok\n") }); e.status != http.StatusOK {
+		t.Fatalf("key poisoned after panicking build: %+v", e)
+	}
+}
+
+// TestCacheConcurrentReadersAcrossMining hammers the full HTTP path from
+// many goroutines while the chain head keeps moving — run under -race,
+// this is the end-to-end check that snapshot swaps never tear a reader.
+func TestCacheConcurrentReadersAcrossMining(t *testing.T) {
+	e := newEnv(t)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	paths := []string{
+		"/v1/status",
+		"/v1/block/1",
+		"/v1/blocks?from=0&to=50",
+		"/v1/balance/" + e.detector.Address().String(),
+		"/v1/receipt/" + e.dtxHash.String(),
+		"/v1/sras",
+		"/v1/proof/" + e.dtxHash.String(),
+	}
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				path := paths[(g+i)%len(paths)]
+				resp, body := rawGet(t, e.server.URL, path, "")
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("%s returned %d: %s", path, resp.StatusCode, body)
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 8; i++ {
+		mineOn(t, e.provider)
+	}
+	close(stop)
+	wg.Wait()
+	if got := e.provider.Chain().HeadNumber(); got != 11 {
+		t.Fatalf("head %d after hammer, want 11", got)
+	}
+}

@@ -1,0 +1,42 @@
+package rpc
+
+import (
+	"net/http"
+	"time"
+)
+
+// Default I/O deadlines for the public HTTP listener. Every /v1 response
+// is small (the widest, a 100-block page, stays under a few hundred KiB)
+// and served from memory, so generous-but-finite bounds lose no
+// legitimate client while denying slow-loris peers the ability to pin a
+// handler goroutine forever.
+const (
+	DefaultReadHeaderTimeout = 10 * time.Second
+	DefaultReadTimeout       = 30 * time.Second
+	DefaultWriteTimeout      = 30 * time.Second
+	DefaultIdleTimeout       = 2 * time.Minute
+)
+
+// NewHTTPServer wraps handler in an http.Server with every I/O deadline
+// set — net/http's zero values mean "wait forever", which an unattended
+// public listener must never do. timeout scales the read/write deadlines
+// (0 keeps the defaults); the header and idle deadlines are fixed, since
+// neither depends on response size.
+func NewHTTPServer(addr string, handler http.Handler, timeout time.Duration) *http.Server {
+	read, write := DefaultReadTimeout, DefaultWriteTimeout
+	if timeout > 0 {
+		read, write = timeout, timeout
+	}
+	headerTimeout := DefaultReadHeaderTimeout
+	if headerTimeout > read {
+		headerTimeout = read
+	}
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: headerTimeout,
+		ReadTimeout:       read,
+		WriteTimeout:      write,
+		IdleTimeout:       DefaultIdleTimeout,
+	}
+}

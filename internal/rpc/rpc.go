@@ -26,6 +26,23 @@
 // with codes bad_request, not_found, tx_rejected and internal. Clients
 // branch on the code; the message is diagnostic only.
 //
+// # Read path
+//
+// Every GET handler serves from an immutable chain.ReadView pinned once
+// per request by a single atomic load — no handler ever takes the chain
+// mutex, so a million polling consumers cannot stall the import pipeline
+// (or each other). On top of the view sits a read-through response cache
+// (cache.go): finalized objects (blocks and proofs ≥ K confirmations
+// deep) cache their encoded bytes content-addressed by block id with
+// immutable Cache-Control, while head-dependent answers (/v1/status,
+// balances, receipts, SRA pages) live in a generation keyed by the head
+// hash and are invalidated wholesale the moment a new snapshot is
+// published. Responses carry strong ETags; If-None-Match revalidation
+// answers 304 without a body. /v1/status includes the pool's pending-tx
+// count, which is not head-pinned — its staleness is bounded by one
+// head-generation swap. Config.UseLockedReads restores the mutex path as
+// a byte-identical oracle for the rpcload benchmark.
+//
 // Observability endpoints are operational, not part of the versioned API:
 //
 //	GET  /metrics                      Prometheus text exposition
@@ -45,11 +62,14 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"time"
 
+	"github.com/smartcrowd/smartcrowd/internal/chain"
 	"github.com/smartcrowd/smartcrowd/internal/contract"
 	"github.com/smartcrowd/smartcrowd/internal/crypto/merkle"
 	"github.com/smartcrowd/smartcrowd/internal/light"
 	"github.com/smartcrowd/smartcrowd/internal/node"
+	"github.com/smartcrowd/smartcrowd/internal/state"
 	"github.com/smartcrowd/smartcrowd/internal/telemetry"
 	"github.com/smartcrowd/smartcrowd/internal/types"
 	"github.com/smartcrowd/smartcrowd/internal/wallet"
@@ -61,12 +81,48 @@ type Config struct {
 	// default: profiling endpoints expose heap contents and should only
 	// face operators.
 	EnablePprof bool
+	// UseLockedReads routes every read through the chain's mutex-guarded
+	// methods instead of the published ReadView — the pre-snapshot
+	// behavior, kept as the byte-identical oracle the rpcload benchmark
+	// measures against. The response cache is off in this mode.
+	UseLockedReads bool
+	// DisableCache serves from the ReadView but skips the response
+	// cache, isolating the snapshot's contribution from the cache's.
+	DisableCache bool
+	// FinalityDepth is K: objects at least K blocks below the view head
+	// are finalized, so their content-addressed responses advertise
+	// themselves as immutable to HTTP caches. 0 means the chain's
+	// configured confirmation depth (the paper's 6-block rule).
+	FinalityDepth uint64
+}
+
+// ChainReader is the chain read surface the GET handlers consume. It is
+// satisfied by both *chain.ReadView (the default: one atomic load pins
+// an immutable snapshot for the whole request) and *chain.Chain (the
+// mutex-guarded oracle behind Config.UseLockedReads).
+type ChainReader interface {
+	Head() *types.Block
+	HeadNumber() uint64
+	TotalDifficulty() uint64
+	BlockByNumber(n uint64) (*types.Block, error)
+	BlocksRange(from, to uint64) []*types.Block
+	ReceiptOf(txHash types.Hash) (*chain.Receipt, error)
+	Confirmations(txHash types.Hash) uint64
+	TxLocation(txHash types.Hash) (blockID types.Hash, number uint64, txIdx int, ok bool)
+	SRACount() int
+	SRAList(offset, limit int) []chain.SRARef
+	DetectionResults(sraID types.Hash) []chain.DetectionRecord
+	State() *state.DB
 }
 
 // Server serves the JSON API for one provider node.
 type Server struct {
 	node     *node.ProviderNode
 	contract *contract.Contract
+	cfg      Config
+	cache    *respCache
+	finality uint64
+	reqNs    *telemetry.Histogram
 	mux      *http.ServeMux
 }
 
@@ -78,11 +134,26 @@ func NewServer(n *node.ProviderNode, c *contract.Contract) *Server {
 
 // NewServerWith wires the API with explicit configuration.
 func NewServerWith(n *node.ProviderNode, c *contract.Contract, cfg Config) *Server {
-	s := &Server{node: n, contract: c, mux: http.NewServeMux()}
+	s := &Server{
+		node:     n,
+		contract: c,
+		cfg:      cfg,
+		cache:    newRespCache(),
+		finality: cfg.FinalityDepth,
+		reqNs:    mReqViewNs,
+		mux:      http.NewServeMux(),
+	}
+	if s.finality == 0 {
+		s.finality = n.Chain().Config().Confirmations
+	}
+	if cfg.UseLockedReads {
+		s.reqNs = mReqLockedNs
+	}
 
 	// Every route registers twice: canonically under /v1, and at its
 	// historical unprefixed path as a deprecated alias that carries a
-	// Deprecation header pointing clients at the successor.
+	// Deprecation header pointing clients at the successor. Both paths
+	// feed the mode-labeled latency histogram.
 	routes := []struct {
 		method, path string
 		h            http.HandlerFunc
@@ -97,12 +168,13 @@ func NewServerWith(n *node.ProviderNode, c *contract.Contract, cfg Config) *Serv
 		{"POST", "/tx", s.handleSubmitTx},
 	}
 	for _, r := range routes {
-		s.mux.HandleFunc(r.method+" /v1"+r.path, r.h)
-		s.mux.HandleFunc(r.method+" "+r.path, deprecatedAlias(r.path, r.h))
+		h := s.measured(r.h)
+		s.mux.HandleFunc(r.method+" /v1"+r.path, h)
+		s.mux.HandleFunc(r.method+" "+r.path, deprecatedAlias(r.path, h))
 	}
 	// List endpoints are part of the redesign and exist only under /v1.
-	s.mux.HandleFunc("GET /v1/sras", s.handleSRAList)
-	s.mux.HandleFunc("GET /v1/blocks", s.handleBlockList)
+	s.mux.HandleFunc("GET /v1/sras", s.measured(s.handleSRAList))
+	s.mux.HandleFunc("GET /v1/blocks", s.measured(s.handleBlockList))
 
 	// Observability surface. The metrics registry is process-wide, so
 	// every server mounted in one process serves the same numbers.
@@ -161,7 +233,105 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 }
 
 func writeErr(w http.ResponseWriter, status int, code string, err error) {
-	writeJSON(w, status, ErrorEnvelope{Error: ErrorBody{Code: code, Message: err.Error()}})
+	mReqErrors.Inc()
+	writeJSON(w, status, errEnvelope(code, err))
+}
+
+func errEnvelope(code string, err error) ErrorEnvelope {
+	return ErrorEnvelope{Error: ErrorBody{Code: code, Message: err.Error()}}
+}
+
+// encodeBody renders the exact bytes writeJSON streams for v — Marshal
+// plus the Encoder's trailing newline — so cached responses stay
+// byte-identical with the uncached (and locked-oracle) paths.
+func encodeBody(v interface{}) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(errEnvelope(CodeInternal, err))
+	}
+	return append(b, '\n')
+}
+
+// measured wraps a handler with the per-request latency histogram for
+// the server's read mode.
+func (s *Server) measured(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		h(w, r)
+		s.reqNs.ObserveDuration(time.Since(t0))
+	}
+}
+
+// reader pins the read surface for one request: the latest published
+// ReadView (view != nil), or the locked chain oracle under
+// Config.UseLockedReads (view == nil, which also bypasses the cache).
+func (s *Server) reader() (ChainReader, *chain.ReadView) {
+	c := s.node.Chain()
+	if s.cfg.UseLockedReads {
+		return c, nil
+	}
+	v := c.CurrentView()
+	return v, v
+}
+
+// cacheRef names where a response may cache: the finalized
+// content-addressed tier (perm) or the current head generation.
+type cacheRef struct {
+	perm bool
+	key  string
+}
+
+// serveRead writes one read response, routing it through the response
+// cache when the request is served from a ReadView. Within one head
+// generation (and forever in the finalized tier) every answer for a key
+// is immutable, so serving cached bytes is exact, not approximate.
+func (s *Server) serveRead(w http.ResponseWriter, r *http.Request, view *chain.ReadView, ref cacheRef, build func() (int, interface{})) {
+	if view == nil || s.cfg.DisableCache || ref.key == "" {
+		status, v := build()
+		if status >= 400 {
+			mReqErrors.Inc()
+		}
+		writeJSON(w, status, v)
+		return
+	}
+	enc := func() (int, []byte) {
+		status, v := build()
+		return status, encodeBody(v)
+	}
+	var e *cacheEntry
+	if ref.perm {
+		e = s.cache.permGetOrBuild(ref.key, enc)
+	} else {
+		e = s.cache.headGetOrBuild(view.HeadID(), ref.key, enc)
+	}
+	if e.status == 0 {
+		// The winning builder died before publishing; answer uncached.
+		status, v := build()
+		if status >= 400 {
+			mReqErrors.Inc()
+		}
+		writeJSON(w, status, v)
+		return
+	}
+	if e.status >= 400 {
+		mReqErrors.Inc()
+	}
+	hdr := w.Header()
+	hdr.Set("ETag", e.etag)
+	if ref.perm {
+		hdr.Set("Cache-Control", "public, max-age=31536000, immutable")
+	} else {
+		// Clients must revalidate, but the ETag makes revalidation a
+		// body-less 304 until the head moves.
+		hdr.Set("Cache-Control", "public, no-cache")
+	}
+	if e.status == http.StatusOK && r.Header.Get("If-None-Match") == e.etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	hdr.Set("Content-Type", "application/json")
+	w.WriteHeader(e.status)
+	_, _ = w.Write(e.body)
 }
 
 // deprecatedAlias wraps a handler mounted at a legacy unprefixed path: it
@@ -186,13 +356,15 @@ type StatusResponse struct {
 	PendingTxs      int    `json:"pendingTxs"`
 }
 
-func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
-	c := s.node.Chain()
-	writeJSON(w, http.StatusOK, StatusResponse{
-		HeadNumber:      c.HeadNumber(),
-		HeadID:          c.Head().ID().String(),
-		TotalDifficulty: c.TotalDifficulty(),
-		PendingTxs:      s.node.PoolLen(),
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	cr, view := s.reader()
+	s.serveRead(w, r, view, cacheRef{key: "status"}, func() (int, interface{}) {
+		return http.StatusOK, StatusResponse{
+			HeadNumber:      cr.HeadNumber(),
+			HeadID:          cr.Head().ID().String(),
+			TotalDifficulty: cr.TotalDifficulty(),
+			PendingTxs:      s.node.PoolLen(),
+		}
 	})
 }
 
@@ -214,12 +386,25 @@ func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("rpc: bad block number: %w", err))
 		return
 	}
-	blk, err := s.node.Chain().BlockByNumber(n)
+	cr, view := s.reader()
+	blk, err := cr.BlockByNumber(n)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, CodeNotFound, err)
+		// Cached per head generation: within one view, "past the head"
+		// stays past the head.
+		s.serveRead(w, r, view, cacheRef{key: "block!:" + r.PathValue("number")}, func() (int, interface{}) {
+			return http.StatusNotFound, errEnvelope(CodeNotFound, err)
+		})
 		return
 	}
-	writeJSON(w, http.StatusOK, blockResponse(blk))
+	// Content-addressed by block id: reorg-safe at any depth, and
+	// promoted to the finalized tier once K blocks deep.
+	ref := cacheRef{key: "block:" + blk.ID().String()}
+	if view != nil && view.FinalizedDepth(n) >= s.finality {
+		ref.perm = true
+	}
+	s.serveRead(w, r, view, ref, func() (int, interface{}) {
+		return http.StatusOK, blockResponse(blk)
+	})
 }
 
 // blockResponse summarizes one block for /v1/block and /v1/blocks.
@@ -254,13 +439,18 @@ func (s *Server) handleBalance(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
-	st := s.node.Chain().State()
-	bal := st.Balance(addr)
-	writeJSON(w, http.StatusOK, BalanceResponse{
-		Address: addr.String(),
-		GWei:    uint64(bal),
-		Ether:   bal.Ether(),
-		Nonce:   st.Nonce(addr),
+	cr, view := s.reader()
+	s.serveRead(w, r, view, cacheRef{key: "balance:" + addr.String()}, func() (int, interface{}) {
+		// View mode reads the frozen head post-state in place; the locked
+		// oracle pays for a copy-on-write State() under the write lock.
+		st := cr.State()
+		bal := st.Balance(addr)
+		return http.StatusOK, BalanceResponse{
+			Address: addr.String(),
+			GWei:    uint64(bal),
+			Ether:   bal.Ether(),
+			Nonce:   st.Nonce(addr),
+		}
 	})
 }
 
@@ -297,21 +487,25 @@ func (s *Server) handleReceipt(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
-	receipt, err := s.node.Chain().ReceiptOf(h)
-	if err != nil {
-		writeErr(w, http.StatusNotFound, CodeNotFound, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, ReceiptResponse{
-		TxHash:        h.String(),
-		Kind:          receipt.Kind.String(),
-		Success:       receipt.Success,
-		Error:         receipt.Err,
-		GasUsed:       receipt.GasUsed,
-		FeeGwei:       uint64(receipt.Fee),
-		Confirmations: s.node.Chain().Confirmations(h),
-		PaidGwei:      uint64(receipt.Payout.Paid),
-		Accepted:      len(receipt.Payout.Accepted),
+	cr, view := s.reader()
+	// Head-keyed (not finalized) even for deep transactions: the body
+	// carries a live confirmation count that grows with every block.
+	s.serveRead(w, r, view, cacheRef{key: "receipt:" + h.String()}, func() (int, interface{}) {
+		receipt, err := cr.ReceiptOf(h)
+		if err != nil {
+			return http.StatusNotFound, errEnvelope(CodeNotFound, err)
+		}
+		return http.StatusOK, ReceiptResponse{
+			TxHash:        h.String(),
+			Kind:          receipt.Kind.String(),
+			Success:       receipt.Success,
+			Error:         receipt.Err,
+			GasUsed:       receipt.GasUsed,
+			FeeGwei:       uint64(receipt.Fee),
+			Confirmations: cr.Confirmations(h),
+			PaidGwei:      uint64(receipt.Payout.Paid),
+			Accepted:      len(receipt.Payout.Accepted),
+		}
 	})
 }
 
@@ -332,19 +526,21 @@ func (s *Server) handleSRA(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
-	info, err := s.contract.GetSRA(s.node.Chain().State(), id)
-	if err != nil {
-		writeErr(w, http.StatusNotFound, CodeNotFound, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, SRAResponse{
-		ID:                 id.String(),
-		Provider:           info.Provider.String(),
-		InsuranceRemaining: info.InsuranceRemaining.Ether(),
-		BountyEther:        info.Bounty.Ether(),
-		ReleaseBlock:       info.ReleaseBlock,
-		ConfirmedVulns:     info.ConfirmedVulns,
-		Reports:            len(s.node.Chain().DetectionResults(id)),
+	cr, view := s.reader()
+	s.serveRead(w, r, view, cacheRef{key: "sra:" + id.String()}, func() (int, interface{}) {
+		info, err := s.contract.GetSRA(cr.State(), id)
+		if err != nil {
+			return http.StatusNotFound, errEnvelope(CodeNotFound, err)
+		}
+		return http.StatusOK, SRAResponse{
+			ID:                 id.String(),
+			Provider:           info.Provider.String(),
+			InsuranceRemaining: info.InsuranceRemaining.Ether(),
+			BountyEther:        info.Bounty.Ether(),
+			ReleaseBlock:       info.ReleaseBlock,
+			ConfirmedVulns:     info.ConfirmedVulns,
+			Reports:            len(cr.DetectionResults(id)),
+		}
 	})
 }
 
@@ -363,22 +559,24 @@ func (s *Server) handleReference(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
-	consumer := node.NewConsumer(s.node.Chain(), s.contract, 0)
-	ref, err := consumer.Lookup(id)
-	if err != nil {
-		writeErr(w, http.StatusNotFound, CodeNotFound, err)
-		return
-	}
-	by := make(map[string]int, len(ref.BySeverity))
-	for sev, n := range ref.BySeverity {
-		by[sev.String()] = n
-	}
-	writeJSON(w, http.StatusOK, ReferenceResponse{
-		ID:             id.String(),
-		Provider:       ref.Provider.String(),
-		ConfirmedVulns: ref.ConfirmedVulns,
-		BySeverity:     by,
-		SafeToDeploy:   ref.SafeToDeploy,
+	cr, view := s.reader()
+	s.serveRead(w, r, view, cacheRef{key: "reference:" + id.String()}, func() (int, interface{}) {
+		consumer := node.NewConsumer(cr, s.contract, 0)
+		ref, err := consumer.Lookup(id)
+		if err != nil {
+			return http.StatusNotFound, errEnvelope(CodeNotFound, err)
+		}
+		by := make(map[string]int, len(ref.BySeverity))
+		for sev, n := range ref.BySeverity {
+			by[sev.String()] = n
+		}
+		return http.StatusOK, ReferenceResponse{
+			ID:             id.String(),
+			Provider:       ref.Provider.String(),
+			ConfirmedVulns: ref.ConfirmedVulns,
+			BySeverity:     by,
+			SafeToDeploy:   ref.SafeToDeploy,
+		}
 	})
 }
 
@@ -399,38 +597,51 @@ func (s *Server) handleProof(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
-	c := s.node.Chain()
-	// Locate the transaction on the canonical chain.
-	for _, blk := range c.CanonicalBlocks() {
-		for i, tx := range blk.Txs {
-			if tx.Hash() != h {
-				continue
-			}
-			proof, err := light.BuildTxProof(blk, i)
-			if err != nil {
-				writeErr(w, http.StatusInternalServerError, CodeInternal, err)
-				return
-			}
-			resp := ProofResponse{
-				BlockID:   proof.BlockID.String(),
-				BlockNum:  blk.Header.Number,
-				LeafHex:   hex.EncodeToString(proof.TxBytes),
-				TxHex:     hex.EncodeToString(types.EncodeTx(tx)),
-				LeafIndex: proof.Proof.LeafIndex,
-				LeafCount: proof.Proof.LeafCount,
-			}
-			for _, step := range proof.Proof.Steps {
-				side := "L"
-				if step.Right {
-					side = "R"
-				}
-				resp.Siblings = append(resp.Siblings, side+":"+hex.EncodeToString(step.Sibling[:]))
-			}
-			writeJSON(w, http.StatusOK, resp)
-			return
-		}
+	cr, view := s.reader()
+	// One index lookup replaces the historical full-chain scan.
+	blockID, number, txIdx, ok := cr.TxLocation(h)
+	if !ok {
+		s.serveRead(w, r, view, cacheRef{key: "proof!:" + h.String()}, func() (int, interface{}) {
+			return http.StatusNotFound, errEnvelope(CodeNotFound, errors.New("rpc: transaction not on canonical chain"))
+		})
+		return
 	}
-	writeErr(w, http.StatusNotFound, CodeNotFound, errors.New("rpc: transaction not on canonical chain"))
+	blk, err := cr.BlockByNumber(number)
+	if err != nil || blk.ID() != blockID {
+		// Only reachable in locked mode, where a reorg can slip between
+		// the two lookups; a view is internally consistent by
+		// construction.
+		writeErr(w, http.StatusNotFound, CodeNotFound, errors.New("rpc: transaction not on canonical chain"))
+		return
+	}
+	// The proof commits to the block alone, so the response is
+	// content-addressed; K blocks down it becomes immutable.
+	ref := cacheRef{key: "proof:" + blockID.String() + ":" + h.String()}
+	if view != nil && view.FinalizedDepth(number) >= s.finality {
+		ref.perm = true
+	}
+	s.serveRead(w, r, view, ref, func() (int, interface{}) {
+		proof, err := light.BuildTxProof(blk, txIdx)
+		if err != nil {
+			return http.StatusInternalServerError, errEnvelope(CodeInternal, err)
+		}
+		resp := ProofResponse{
+			BlockID:   proof.BlockID.String(),
+			BlockNum:  blk.Header.Number,
+			LeafHex:   hex.EncodeToString(proof.TxBytes),
+			TxHex:     hex.EncodeToString(types.EncodeTx(blk.Txs[txIdx])),
+			LeafIndex: proof.Proof.LeafIndex,
+			LeafCount: proof.Proof.LeafCount,
+		}
+		for _, step := range proof.Proof.Steps {
+			side := "L"
+			if step.Right {
+				side = "R"
+			}
+			resp.Siblings = append(resp.Siblings, side+":"+hex.EncodeToString(step.Sibling[:]))
+		}
+		return http.StatusOK, resp
+	})
 }
 
 // Pagination caps for the list endpoints. Both are enforced, not merely
@@ -477,36 +688,39 @@ func (s *Server) handleSRAList(w http.ResponseWriter, r *http.Request) {
 	if limit > MaxSRAPageSize {
 		limit = MaxSRAPageSize
 	}
-	c := s.node.Chain()
-	st := c.State()
-	refs := c.SRAList(offset, limit)
-	resp := SRAListResponse{
-		Total:  c.SRACount(),
-		Offset: offset,
-		SRAs:   make([]SRAResponse, 0, len(refs)),
-	}
-	for _, ref := range refs {
-		info, err := s.contract.GetSRA(st, ref.ID)
-		if err != nil {
-			// The index and contract state move together under the chain
-			// lock-step; a miss here is a server-side inconsistency.
-			writeErr(w, http.StatusInternalServerError, CodeInternal, err)
-			return
+	cr, view := s.reader()
+	key := fmt.Sprintf("sras:%d:%d", offset, limit)
+	s.serveRead(w, r, view, cacheRef{key: key}, func() (int, interface{}) {
+		st := cr.State()
+		refs := cr.SRAList(offset, limit)
+		resp := SRAListResponse{
+			Total:  cr.SRACount(),
+			Offset: offset,
+			SRAs:   make([]SRAResponse, 0, len(refs)),
 		}
-		resp.SRAs = append(resp.SRAs, SRAResponse{
-			ID:                 ref.ID.String(),
-			Provider:           info.Provider.String(),
-			InsuranceRemaining: info.InsuranceRemaining.Ether(),
-			BountyEther:        info.Bounty.Ether(),
-			ReleaseBlock:       info.ReleaseBlock,
-			ConfirmedVulns:     info.ConfirmedVulns,
-			Reports:            len(c.DetectionResults(ref.ID)),
-		})
-	}
-	if next := offset + len(refs); len(refs) > 0 && next < resp.Total {
-		resp.NextOffset = &next
-	}
-	writeJSON(w, http.StatusOK, resp)
+		for _, ref := range refs {
+			info, err := s.contract.GetSRA(st, ref.ID)
+			if err != nil {
+				// The index and contract state move together under the
+				// view (or the chain lock-step); a miss here is a
+				// server-side inconsistency.
+				return http.StatusInternalServerError, errEnvelope(CodeInternal, err)
+			}
+			resp.SRAs = append(resp.SRAs, SRAResponse{
+				ID:                 ref.ID.String(),
+				Provider:           info.Provider.String(),
+				InsuranceRemaining: info.InsuranceRemaining.Ether(),
+				BountyEther:        info.Bounty.Ether(),
+				ReleaseBlock:       info.ReleaseBlock,
+				ConfirmedVulns:     info.ConfirmedVulns,
+				Reports:            len(cr.DetectionResults(ref.ID)),
+			})
+		}
+		if next := offset + len(refs); len(refs) > 0 && next < resp.Total {
+			resp.NextOffset = &next
+		}
+		return http.StatusOK, resp
+	})
 }
 
 // BlockListResponse is a bounded range of canonical blocks.
@@ -518,8 +732,8 @@ type BlockListResponse struct {
 }
 
 func (s *Server) handleBlockList(w http.ResponseWriter, r *http.Request) {
-	c := s.node.Chain()
-	head := c.HeadNumber()
+	cr, view := s.reader()
+	head := cr.HeadNumber()
 	from, err := parseQueryInt(r, "from", 0)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
@@ -540,18 +754,20 @@ func (s *Server) handleBlockList(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("rpc: range %d..%d spans %d blocks, cap is %d", from, to, to-from+1, MaxBlockRangeSize))
 		return
 	}
-	resp := BlockListResponse{From: uint64(from), To: uint64(to), Head: head}
-	for n := from; n <= to; n++ {
-		blk, err := c.BlockByNumber(uint64(n))
-		if err != nil {
-			break // past the head: the range is truncated, not an error
+	key := fmt.Sprintf("blocks:%d:%d", from, to)
+	s.serveRead(w, r, view, cacheRef{key: key}, func() (int, interface{}) {
+		// The whole range resolves from one snapshot (one lock
+		// acquisition in oracle mode), so a reorg mid-request can never
+		// mix blocks from two forks into a single page.
+		resp := BlockListResponse{From: uint64(from), To: uint64(to), Head: head}
+		for _, blk := range cr.BlocksRange(uint64(from), uint64(to)) {
+			resp.Blocks = append(resp.Blocks, blockResponse(blk))
 		}
-		resp.Blocks = append(resp.Blocks, blockResponse(blk))
-	}
-	if len(resp.Blocks) > 0 {
-		resp.To = resp.Blocks[len(resp.Blocks)-1].Number
-	}
-	writeJSON(w, http.StatusOK, resp)
+		if len(resp.Blocks) > 0 {
+			resp.To = resp.Blocks[len(resp.Blocks)-1].Number
+		}
+		return http.StatusOK, resp
+	})
 }
 
 // SubmitRequest is the POST /tx body.
