@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check fmt vet lint fuzz-smoke race bench telemetry-budget
+.PHONY: all build test check fmt vet lint fuzz-smoke race bench telemetry-budget trace-budget
 
 all: build test
 
@@ -13,14 +13,15 @@ test:
 # check is the pre-commit gate: formatting, static analysis (generic vet
 # plus the project-specific scvet passes), the full suite under the race
 # detector, and the telemetry overhead budget.
-check: fmt vet lint race telemetry-budget
+check: fmt vet lint race telemetry-budget trace-budget
 
 # lint runs scvet, the project-specific analyzer enforcing the invariants
 # generic linters cannot see: consensus determinism (detsource),
 # errors.Is discipline (senterr), crypto-free mutex critical sections
-# (locksafe), stable /metrics names (metricname), and bounded
-# network-sized allocations (boundalloc). Audited exceptions live in
-# .scvet.allow with their justifications; see DESIGN.md §9.
+# (locksafe), stable /metrics names (metricname), bounded network-sized
+# allocations (boundalloc), and structured-logging discipline in
+# internal packages (logdisc). Audited exceptions live in .scvet.allow
+# with their justifications; see DESIGN.md §9.
 lint:
 	$(GO) run ./cmd/scvet ./...
 
@@ -59,3 +60,11 @@ bench:
 # instrumentation would dominate the measurement.
 telemetry-budget:
 	$(GO) test ./internal/telemetry/ -run TestCounterOverheadBudget -count=1 -v
+
+# trace-budget fails if opening and ending a traced span (id stamping +
+# span ring + trace-store filing) costs more than the budget (5 µs/op by
+# default; override with SMARTCROWD_TRACE_BUDGET_NS). Must run without
+# -race for the same reason as telemetry-budget. The tracecost bench
+# experiment gates the same number plus the wire-envelope cost.
+trace-budget:
+	$(GO) test ./internal/telemetry/ -run TestTraceOverheadBudget -count=1 -v

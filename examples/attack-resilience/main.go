@@ -16,39 +16,39 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	"github.com/smartcrowd/smartcrowd"
+	"github.com/smartcrowd/smartcrowd/internal/telemetry"
 )
 
 func main() {
 	p := smartcrowd.NewPlatform(smartcrowd.PlatformConfig{Seed: 99})
 	if err := p.Fund(p.ProviderWallet("vendor").Address(), smartcrowd.EtherAmount(20_000)); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	for _, d := range []string{"honest", "forger", "plagiarist"} {
 		if err := p.Fund(p.DetectorWallet(d).Address(), smartcrowd.EtherAmount(100)); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 	if _, err := p.AddProvider("vendor"); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	honest, err := p.AddDetector("honest", &smartcrowd.CapabilityEngine{
 		Name: "honest", Capability: 1, Speed: 8, Seed: 1,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	forger, err := p.AddDetector("forger", &smartcrowd.ForgingEngine{Name: "forger", Count: 6})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	thiefEngine := &smartcrowd.PlagiarizingEngine{Name: "plagiarist"}
 	plagiarist, err := p.AddDetector("plagiarist", thiefEngine)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	img := smartcrowd.GenerateImage("gateway-fw", "3.0", smartcrowd.UniverseSpec{
@@ -56,17 +56,17 @@ func main() {
 	})
 	sra, err := p.Release(0, img, smartcrowd.EtherAmount(1000), smartcrowd.EtherAmount(5))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	for i := 0; i < 6; i++ {
 		if _, err := p.Mine(0); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 
 	ref, err := p.Reference(sra.ID)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("release %s: %d genuine vulnerabilities confirmed on chain\n\n",
 		sra.ID.Short(), ref.ConfirmedVulns)
@@ -82,11 +82,11 @@ func main() {
 		thiefEngine.Observe([]smartcrowd.Finding{f})
 	}
 	if _, err := plagiarist.OnSRA(sra, img); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	for i := 0; i < 4; i++ {
 		if _, err := p.Mine(0); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 	fmt.Printf("  plagiarist replayed %d stolen findings after the reveals\n", len(ref.Findings))
@@ -108,7 +108,7 @@ func main() {
 	spoofed.ID = spoofed.ComputeID()
 	sig, err := attacker.SignDigest(spoofed.ID)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	spoofed.Sig = sig
 	if err := spoofed.Verify(); err != nil {
@@ -116,4 +116,11 @@ func main() {
 	} else {
 		fmt.Println("  !! spoofed SRA verified — defense failed")
 	}
+}
+
+// fatal reports err through the structured logger (level=error ring,
+// /debug/logs) and exits non-zero — the examples' replacement for
+// stdlib log.Fatal.
+func fatal(err error) {
+	telemetry.Log("example").Fatal(err.Error())
 }

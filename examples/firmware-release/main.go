@@ -11,28 +11,28 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	"github.com/smartcrowd/smartcrowd"
+	"github.com/smartcrowd/smartcrowd/internal/telemetry"
 )
 
 func main() {
 	p := smartcrowd.NewPlatform(smartcrowd.PlatformConfig{Seed: 7})
 	for label, funds := range map[string]uint64{"vendor": 20_000, "rival": 20_000} {
 		if err := p.Fund(p.ProviderWallet(label).Address(), smartcrowd.EtherAmount(funds)); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 	for _, lab := range []string{"lab-a", "lab-b", "lab-c"} {
 		if err := p.Fund(p.DetectorWallet(lab).Address(), smartcrowd.EtherAmount(200)); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 	if _, err := p.AddProvider("vendor"); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if _, err := p.AddProvider("rival"); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	// Three independent labs with different capability profiles — the
 	// N-version detection the paper motivates with CloudAV.
@@ -44,7 +44,7 @@ func main() {
 			Seed:       int64(100 + i),
 		}
 		if _, err := p.AddDetector(lab, engine); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 
@@ -52,7 +52,7 @@ func main() {
 	mineRound := func(n int) {
 		for i := 0; i < n; i++ {
 			if _, err := p.Mine(i % 2); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 		}
 	}
@@ -67,12 +67,12 @@ func main() {
 	})
 	sra1, err := p.Release(0, buggy, smartcrowd.EtherAmount(1000), smartcrowd.EtherAmount(5))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	mineRound(8)
 	ref1, err := p.Reference(sra1.ID)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("v1.0 released with %d seeded flaws\n", len(buggy.Vulns))
 	fmt.Printf("  confirmed on chain: %d vulnerabilities\n", ref1.ConfirmedVulns)
@@ -86,12 +86,12 @@ func main() {
 	patched := smartcrowd.GenerateImage("thermo-fw", "1.1", smartcrowd.UniverseSpec{Seed: 12})
 	sra2, err := p.Release(0, patched, smartcrowd.EtherAmount(1000), smartcrowd.EtherAmount(5))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	mineRound(8)
 	ref2, err := p.Reference(sra2.ID)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("v1.1 released after fixing every flaw\n")
 	fmt.Printf("  confirmed on chain: %d vulnerabilities\n", ref2.ConfirmedVulns)
@@ -114,4 +114,11 @@ func main() {
 	for i, det := range p.Detectors() {
 		fmt.Printf("  lab-%c: %s\n", 'a'+i, det.Earnings())
 	}
+}
+
+// fatal reports err through the structured logger (level=error ring,
+// /debug/logs) and exits non-zero — the examples' replacement for
+// stdlib log.Fatal.
+func fatal(err error) {
+	telemetry.Log("example").Fatal(err.Error())
 }

@@ -11,9 +11,9 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	"github.com/smartcrowd/smartcrowd"
+	"github.com/smartcrowd/smartcrowd/internal/telemetry"
 )
 
 func main() {
@@ -54,35 +54,35 @@ func main() {
 	fmt.Println("\nSmartCrowd: the same services join as incentivized detectors")
 	p := smartcrowd.NewPlatform(smartcrowd.PlatformConfig{Seed: 21})
 	if err := p.Fund(p.ProviderWallet("marketplace").Address(), smartcrowd.EtherAmount(50_000)); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	for _, svc := range services {
 		if err := p.Fund(p.DetectorWallet(svc.Name).Address(), smartcrowd.EtherAmount(500)); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 	if _, err := p.AddProvider("marketplace"); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	for _, svc := range services {
 		if _, err := p.AddDetector(svc.Name, svc); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 
 	for _, app := range apps {
 		sra, err := p.Release(0, app, smartcrowd.EtherAmount(2000), smartcrowd.EtherAmount(2))
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		for i := 0; i < 8; i++ {
 			if _, err := p.Mine(0); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 		}
 		ref, err := p.Reference(sra.ID)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 
 		// Union coverage of the isolated services, for comparison.
@@ -106,4 +106,11 @@ func main() {
 	for i, svc := range services {
 		fmt.Printf("  %-14s %s\n", svc.Name, p.Detectors()[i].Earnings())
 	}
+}
+
+// fatal reports err through the structured logger (level=error ring,
+// /debug/logs) and exits non-zero — the examples' replacement for
+// stdlib log.Fatal.
+func fatal(err error) {
+	telemetry.Log("example").Fatal(err.Error())
 }

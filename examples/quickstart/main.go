@@ -10,9 +10,9 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	"github.com/smartcrowd/smartcrowd"
+	"github.com/smartcrowd/smartcrowd/internal/telemetry"
 )
 
 func main() {
@@ -20,18 +20,18 @@ func main() {
 	// the nodes (genesis is fixed when the first provider starts).
 	p := smartcrowd.NewPlatform(smartcrowd.PlatformConfig{Seed: 42})
 	if err := p.Fund(p.ProviderWallet("acme").Address(), smartcrowd.EtherAmount(10_000)); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if err := p.Fund(p.DetectorWallet("seclab").Address(), smartcrowd.EtherAmount(100)); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if _, err := p.AddProvider("acme"); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if _, err := p.AddDetector("seclab", &smartcrowd.CapabilityEngine{
 		Name: "seclab", Capability: 1, Speed: 8, Seed: 42,
 	}); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	// The provider releases a firmware image with three seeded flaws,
@@ -42,7 +42,7 @@ func main() {
 	})
 	sra, err := p.Release(0, img, smartcrowd.EtherAmount(1000), smartcrowd.EtherAmount(5))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("released %s v%s (SRA %s, insurance %s)\n",
 		img.Name, img.Version, sra.ID.Short(), sra.Insurance)
@@ -51,17 +51,24 @@ func main() {
 	// R†, reveals R*, and the contract pays out — no authority involved.
 	for i := 0; i < 6; i++ {
 		if _, err := p.Mine(0); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 
 	// A consumer checks the blockchain before deploying.
 	ref, err := p.Reference(sra.ID)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("confirmed vulnerabilities: %d\n", ref.ConfirmedVulns)
 	fmt.Printf("insurance remaining:       %s\n", ref.InsuranceRemaining)
 	fmt.Printf("safe to deploy:            %v\n", ref.SafeToDeploy)
 	fmt.Printf("detector earnings:         %s\n", p.Detectors()[0].Earnings())
+}
+
+// fatal reports err through the structured logger (level=error ring,
+// /debug/logs) and exits non-zero — the examples' replacement for
+// stdlib log.Fatal.
+func fatal(err error) {
+	telemetry.Log("example").Fatal(err.Error())
 }

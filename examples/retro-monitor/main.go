@@ -10,23 +10,23 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	"github.com/smartcrowd/smartcrowd"
+	"github.com/smartcrowd/smartcrowd/internal/telemetry"
 )
 
 func main() {
 	p := smartcrowd.NewPlatform(smartcrowd.PlatformConfig{Seed: 33})
 	if err := p.Fund(p.ProviderWallet("vendor").Address(), smartcrowd.EtherAmount(20_000)); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	for _, d := range []string{"early-scanner", "late-scanner"} {
 		if err := p.Fund(p.DetectorWallet(d).Address(), smartcrowd.EtherAmount(200)); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 	if _, err := p.AddProvider("vendor"); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	// The released firmware carries six latent flaws.
@@ -45,23 +45,23 @@ func main() {
 	if _, err := p.AddDetector("early-scanner", &smartcrowd.LibraryEngine{
 		Name: "early-scanner", Library: earlyFeed,
 	}); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	sra, err := p.Release(0, img, smartcrowd.EtherAmount(1000), smartcrowd.EtherAmount(5))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	// The consumer deploys immediately and subscribes for retrospective
 	// alerts (nothing is known yet, so it acknowledges zero findings).
 	if err := p.Subscribe("smart-home-owner", sra.ID, 0); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	mustMine := func(n int) {
 		for i := 0; i < n; i++ {
 			if _, err := p.Mine(0); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 		}
 	}
@@ -77,7 +77,7 @@ func main() {
 	drain("day 0")
 	ref, err := p.Reference(sra.ID)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("  on-chain reference: %d confirmed vulnerabilities\n\n", ref.ConfirmedVulns)
 
@@ -90,14 +90,14 @@ func main() {
 	if _, err := p.AddDetector("late-scanner", &smartcrowd.LibraryEngine{
 		Name: "late-scanner", Library: fullFeed,
 	}); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	mustMine(5)
 	drain("month 3")
 
 	ref, err = p.Reference(sra.ID)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("\nfinal state of %s v%s:\n", img.Name, img.Version)
 	fmt.Printf("  confirmed vulnerabilities: %d of %d seeded\n", ref.ConfirmedVulns, len(img.Vulns))
@@ -106,4 +106,11 @@ func main() {
 	fmt.Printf("  early-scanner earned:      %s\n", dets[0].Earnings())
 	fmt.Printf("  late-scanner earned:       %s (retroactive detection pays)\n", dets[1].Earnings())
 	fmt.Printf("  consumer verdict now:      safe=%v — time to patch\n", ref.SafeToDeploy)
+}
+
+// fatal reports err through the structured logger (level=error ring,
+// /debug/logs) and exits non-zero — the examples' replacement for
+// stdlib log.Fatal.
+func fatal(err error) {
+	telemetry.Log("example").Fatal(err.Error())
 }

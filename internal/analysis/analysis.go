@@ -39,6 +39,7 @@ func Passes() []*Pass {
 		passLocksafe,
 		passMetricname,
 		passBoundalloc,
+		passLogdisc,
 	}
 }
 

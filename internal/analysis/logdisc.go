@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// passLogdisc enforces the logging discipline introduced with the
+// structured logger: library code (everything under internal/) must not
+// write free-form text to stderr/stdout via stdlib log or fmt.Print*.
+// Those sinks bypass the leveled ring behind /debug/logs, carry no
+// subsystem or trace id, and interleave across goroutines. Commands
+// (cmd/, examples/) keep their human-facing fmt output, and test files
+// are never loaded by the analyzer, so both are exempt by construction.
+var passLogdisc = &Pass{
+	Name: "logdisc",
+	Doc:  "internal packages log through telemetry.Log, not stdlib log or fmt.Print*",
+	Run:  runLogdisc,
+}
+
+// fmtPrintFuncs are the fmt functions that write to process stdout.
+// Fprint* variants take an explicit writer and stay legal — rendering to
+// a buffer or an HTTP response is not logging.
+var fmtPrintFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func runLogdisc(p *Package) []Finding {
+	if !strings.Contains(p.ImportPath+"/", "internal/") {
+		return nil
+	}
+	if hasPathSuffix(p.ImportPath, "internal/telemetry") {
+		return nil // the logger implementation itself
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch importedPkgPath(p.Info, sel.X) {
+			case "log":
+				out = append(out, p.finding("logdisc", call,
+					"stdlib log.%s in internal package; use telemetry.Log(<subsystem>) so entries are leveled, ring-buffered and trace-stamped", sel.Sel.Name))
+			case "fmt":
+				if fmtPrintFuncs[sel.Sel.Name] {
+					out = append(out, p.finding("logdisc", call,
+						"fmt.%s writes to stdout from an internal package; use telemetry.Log(<subsystem>) (or fmt.Fprint* with an explicit writer)", sel.Sel.Name))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -37,6 +37,33 @@ func TestBoundallocFixture(t *testing.T) {
 	runFixture(t, "boundalloc", modPrefix+"internal/wire")
 }
 
+func TestLogdiscFixture(t *testing.T) {
+	runFixture(t, "logdisc", modPrefix+"internal/node")
+}
+
+// TestLogdiscAllowlisted proves a logdisc finding is suppressible via
+// the committed .scvet.allow mechanism like any other pass.
+func TestLogdiscAllowlisted(t *testing.T) {
+	findings := runFixture(t, "logdisc", modPrefix+"internal/node")
+	if len(findings) == 0 {
+		t.Fatal("fixture produced no findings")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, ".scvet.allow")
+	entry := "logdisc " + filepath.Base(findings[0].Pos.Filename) + " " + findings[0].Msg
+	if err := writeFile(t, path, "# audited: fixture exception\n"+entry+"\n"); err != nil {
+		t.Fatal(err)
+	}
+	allow, err := LoadAllowlist(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, suppressed := allow.Filter(findings)
+	if suppressed != 1 || len(kept) != len(findings)-1 {
+		t.Fatalf("suppressed %d / kept %d, want 1 / %d", suppressed, len(kept), len(findings)-1)
+	}
+}
+
 // TestPassesScopedToTheirPackages proves the path-scoped passes stay
 // silent when the same code lives outside their jurisdiction: the
 // detsource fixture is full of violations, but a non-consensus package
@@ -47,6 +74,8 @@ func TestPassesScopedToTheirPackages(t *testing.T) {
 		{"locksafe", "locksafe", modPrefix + "internal/node"},
 		{"locksafe_rpc", "locksafe", modPrefix + "internal/node"},
 		{"boundalloc", "boundalloc", modPrefix + "internal/chain"},
+		{"logdisc", "logdisc", modPrefix + "cmd/smartcrowd"},
+		{"logdisc", "logdisc", modPrefix + "internal/telemetry"},
 	} {
 		pkg := loadFixture(t, tc.fixture, tc.asPath)
 		if got := PassByName(tc.pass).Run(pkg); len(got) != 0 {

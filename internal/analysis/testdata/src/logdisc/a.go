@@ -1,0 +1,39 @@
+// Fixture for the logdisc pass: internal packages log through
+// telemetry.Log, never stdlib log or fmt.Print*.
+package fixlogdisc
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/smartcrowd/smartcrowd/internal/telemetry"
+)
+
+var flog = telemetry.Log("fixture")
+
+func structured() {
+	// The sanctioned path: leveled, subsystem-keyed, ring-buffered.
+	flog.Info("block imported", "number", 7)
+	flog.Warn("orphan buffered", "id", "abc")
+}
+
+func rawStdlib(err error) {
+	log.Printf("imported block %d", 7)     // want `stdlib log.Printf in internal package`
+	log.Println("pool pruned")             // want `stdlib log.Println in internal package`
+	log.Fatalf("cannot continue: %v", err) // want `stdlib log.Fatalf in internal package`
+}
+
+func rawStdout() {
+	fmt.Printf("peer count %d\n", 3) // want `fmt.Printf writes to stdout`
+	fmt.Println("sealed")            // want `fmt.Println writes to stdout`
+	fmt.Print("x")                   // want `fmt.Print writes to stdout`
+}
+
+func explicitWriters() {
+	// Fprint* with an explicit writer is rendering, not logging: HTTP
+	// responses, buffers and deliberate stderr writes stay legal.
+	fmt.Fprintf(os.Stderr, "deliberate stderr write\n")
+	_ = fmt.Sprintf("formatted %d", 1)
+	_ = fmt.Errorf("wrapped: %d", 2)
+}

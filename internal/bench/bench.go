@@ -177,6 +177,7 @@ func All() []Experiment {
 		{ID: "syncpipeline", Title: "Sync pipeline: batched InsertChain vs serial re-verification", Run: SyncPipeline},
 		{ID: "execpar", Title: "Execution parallelism: optimistic parallel stage 2 vs serial oracle", Run: ExecPar},
 		{ID: "rpcload", Title: "RPC read path: lock-free view + response cache vs mutex oracle", Run: RPCLoad},
+		{ID: "tracecost", Title: "Trace cost: span lifecycle and wire envelope vs untraced baselines", Run: TraceCost},
 	}
 }
 

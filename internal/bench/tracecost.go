@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"github.com/smartcrowd/smartcrowd/internal/p2p"
+	"github.com/smartcrowd/smartcrowd/internal/telemetry"
+	"github.com/smartcrowd/smartcrowd/internal/wire"
+)
+
+// Trace-cost gate knobs. The span budget reuses the CI overhead test's
+// environment variable so one override covers both gates; the frame
+// ratio has its own since it bounds a ratio, not an absolute time.
+const (
+	tracecostSpanBudgetEnv   = "SMARTCROWD_TRACE_BUDGET_NS"
+	tracecostDefaultSpanNs   = 5000.0 // 5µs per traced span, same as TestTraceOverheadBudget
+	tracecostFrameRatioEnv   = "SMARTCROWD_TRACECOST_FRAME_RATIO"
+	tracecostDefaultFrameMax = 2.0 // traced round-trip may cost at most 2x legacy
+)
+
+// tracecostPayloadSize approximates a small gossiped block: large enough
+// that the codec's copy/alloc work dominates, small enough that the
+// 40-byte envelope's relative cost is visible if it ever regresses.
+const tracecostPayloadSize = 4096
+
+// TraceCost measures what the tracing layer costs the hot paths it
+// instruments, against untraced baselines, and gates the overhead for CI:
+//
+//   - span lifecycle: open+end of an untraced span (ring filing only)
+//     vs a traced span (id stamping + ring + trace-store filing). The
+//     traced cost must stay under the same budget TestTraceOverheadBudget
+//     enforces (default 5µs, SMARTCROWD_TRACE_BUDGET_NS overrides) —
+//     spans end at block/batch granularity, so microseconds vanish
+//     against the event rate, but accidental O(store) work would not.
+//   - wire codec: WriteFrame+ReadFrame round-trip of a legacy v1 frame
+//     vs a traced v2 frame carrying the 40-byte envelope, over an
+//     in-memory buffer with a block-sized payload. The traced round-trip
+//     must stay within 2x of legacy (SMARTCROWD_TRACECOST_FRAME_RATIO
+//     overrides) and the encoded size must grow by exactly the envelope.
+//
+// Timing gates are skipped under -race (the detector's instrumentation
+// would dominate both sides); the structural envelope check always runs.
+func TraceCost(scale Scale) (*Report, error) {
+	spanIters, frameIters := 200_000, 50_000
+	if scale == Full {
+		spanIters, frameIters = 1_000_000, 250_000
+	}
+
+	r := &Report{
+		ID:      "tracecost",
+		Title:   "Trace cost: span lifecycle and wire envelope vs untraced baselines",
+		Headers: []string{"Path", "Untraced", "Traced", "Overhead"},
+		Metrics: make(map[string]float64),
+		ShapeOK: true,
+	}
+
+	spanBudget := tracecostDefaultSpanNs
+	if env := os.Getenv(tracecostSpanBudgetEnv); env != "" {
+		v, err := strconv.ParseFloat(env, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad %s %q: %v", tracecostSpanBudgetEnv, env, err)
+		}
+		spanBudget = v
+	}
+	frameRatioMax := tracecostDefaultFrameMax
+	if env := os.Getenv(tracecostFrameRatioEnv); env != "" {
+		v, err := strconv.ParseFloat(env, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad %s %q: %v", tracecostFrameRatioEnv, env, err)
+		}
+		frameRatioMax = v
+	}
+
+	// Span lifecycle on a private registry: the process registry's span
+	// ring and trace store keep serving the live node untouched.
+	reg := telemetry.NewRegistry()
+	root := reg.StartTrace("tracecost.root")
+	tc := root.Context()
+	root.End()
+
+	untracedNs := timePerOp(spanIters, func() {
+		reg.StartSpan("tracecost.span").End()
+	})
+	tracedNs := timePerOp(spanIters, func() {
+		reg.StartSpanIn(tc, "tracecost.span").End()
+	})
+	spanRatio := ratioOf(tracedNs, untracedNs)
+	r.Rows = append(r.Rows, []string{
+		"span open+end",
+		fmt.Sprintf("%.0f ns/op", untracedNs),
+		fmt.Sprintf("%.0f ns/op", tracedNs),
+		fmt.Sprintf("%.2fx", spanRatio),
+	})
+	r.Metrics["span_untraced_ns"] = untracedNs
+	r.Metrics["span_traced_ns"] = tracedNs
+	r.Metrics["span_overhead_ratio"] = spanRatio
+
+	// Wire codec round-trip: encode to a reusable buffer, decode back.
+	// The payload is deterministic junk — the codec never interprets it.
+	payload := make([]byte, tracecostPayloadSize)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	legacy := wire.Frame{Kind: p2p.MsgBlock, Payload: payload}
+	traced := wire.Frame{
+		Kind:    p2p.MsgBlock,
+		Payload: payload,
+		Trace: telemetry.TraceContext{
+			TraceID: telemetry.NewTraceID(),
+			Span:    telemetry.NewSpanID(),
+			Start:   time.Now().UnixNano(),
+		},
+		SentNanos: time.Now().UnixNano(),
+	}
+
+	legacyBytes, err := frameSize(legacy)
+	if err != nil {
+		return nil, err
+	}
+	tracedBytes, err := frameSize(traced)
+	if err != nil {
+		return nil, err
+	}
+	envelope := tracedBytes - legacyBytes
+	r.Metrics["frame_legacy_bytes"] = float64(legacyBytes)
+	r.Metrics["frame_traced_bytes"] = float64(tracedBytes)
+	r.Metrics["envelope_bytes"] = float64(envelope)
+	r.Rows = append(r.Rows, []string{
+		"frame size",
+		fmt.Sprintf("%d B", legacyBytes),
+		fmt.Sprintf("%d B", tracedBytes),
+		fmt.Sprintf("+%d B (%.2f%%)", envelope, 100*float64(envelope)/float64(legacyBytes)),
+	})
+	r.check(envelope == 40,
+		"traced frame grows by exactly the 40-byte envelope (got +%d B)", envelope)
+
+	legacyFrameNs, err := timeFrameRoundTrip(frameIters, legacy)
+	if err != nil {
+		return nil, err
+	}
+	tracedFrameNs, err := timeFrameRoundTrip(frameIters, traced)
+	if err != nil {
+		return nil, err
+	}
+	frameRatio := ratioOf(tracedFrameNs, legacyFrameNs)
+	r.Rows = append(r.Rows, []string{
+		"frame encode+decode",
+		fmt.Sprintf("%.0f ns/op", legacyFrameNs),
+		fmt.Sprintf("%.0f ns/op", tracedFrameNs),
+		fmt.Sprintf("%.2fx", frameRatio),
+	})
+	r.Metrics["frame_legacy_ns"] = legacyFrameNs
+	r.Metrics["frame_traced_ns"] = tracedFrameNs
+	r.Metrics["frame_overhead_ratio"] = frameRatio
+
+	if raceEnabled {
+		r.note("SKIP timing gates under -race: detector instrumentation dominates both sides")
+	} else {
+		r.check(tracedNs <= spanBudget,
+			"traced span %.0f ns/op within %.0f ns budget", tracedNs, spanBudget)
+		r.check(frameRatio <= frameRatioMax,
+			"traced frame round-trip %.2fx legacy, within %.1fx bound", frameRatio, frameRatioMax)
+	}
+	r.note("span iterations: %d, frame iterations: %d (payload %d B)",
+		spanIters, frameIters, tracecostPayloadSize)
+	return r, nil
+}
+
+// timePerOp runs fn iters times after a short warmup and returns the
+// mean wall-clock cost per call in nanoseconds.
+func timePerOp(iters int, fn func()) float64 {
+	for i := 0; i < iters/10; i++ {
+		fn()
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+// frameSize returns the encoded byte length of f.
+func frameSize(f wire.Frame) (int, error) {
+	var buf bytes.Buffer
+	if err := wire.WriteFrame(&buf, f); err != nil {
+		return 0, err
+	}
+	return buf.Len(), nil
+}
+
+// timeFrameRoundTrip measures WriteFrame+ReadFrame over a reused
+// in-memory buffer, returning ns per round trip.
+func timeFrameRoundTrip(iters int, f wire.Frame) (float64, error) {
+	var buf bytes.Buffer
+	roundTrip := func() error {
+		buf.Reset()
+		if err := wire.WriteFrame(&buf, f); err != nil {
+			return err
+		}
+		got, err := wire.ReadFrame(&buf)
+		if err != nil {
+			return err
+		}
+		if got.Kind != f.Kind || len(got.Payload) != len(f.Payload) {
+			return fmt.Errorf("tracecost: round-trip mangled frame: kind %d len %d", got.Kind, len(got.Payload))
+		}
+		return nil
+	}
+	for i := 0; i < iters/10; i++ {
+		if err := roundTrip(); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := roundTrip(); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters), nil
+}
+
+// ratioOf guards against a zero denominator on absurdly fast machines.
+func ratioOf(num, den float64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}

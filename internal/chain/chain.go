@@ -317,6 +317,14 @@ func (c *Chain) HasBlock(id types.Hash) bool {
 // parent-contextual checks, execution and commit — runs under the chain
 // mutex. Single-block and batch import therefore cannot diverge.
 func (c *Chain) InsertBlock(blk *types.Block) (bool, error) {
+	return c.InsertBlockTraced(blk, telemetry.TraceContext{})
+}
+
+// InsertBlockTraced is InsertBlock carrying the block's trace context:
+// a head switch caused by this block publishes its lifecycle events (new
+// head, SRAs, verdicts) stamped with the trace, so a consumer watching
+// /v1/events can tie a head change back to the seal that produced it.
+func (c *Chain) InsertBlockTraced(blk *types.Block, tc telemetry.TraceContext) (bool, error) {
 	// Fast duplicate path: skip the expensive stateless work for blocks
 	// already stored (gossip redelivery, orphan reprocessing).
 	if c.HasBlock(blk.ID()) {
@@ -333,7 +341,7 @@ func (c *Chain) InsertBlock(blk *types.Block) (bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	t1 := now()
-	switched, err := c.insertVerifiedLocked(blk)
+	switched, err := c.insertVerifiedLocked(blk, tc)
 	mStage2Ns.ObserveDuration(since(t1))
 	recordImport(err)
 	return switched, err
@@ -353,11 +361,19 @@ func (c *Chain) InsertBlock(blk *types.Block) (bool, error) {
 // taken per block, so concurrent readers and competing inserts interleave
 // exactly as they would with sequential InsertBlock calls.
 func (c *Chain) InsertChain(blocks []*types.Block) (int, error) {
+	return c.InsertChainTraced(blocks, telemetry.TraceContext{})
+}
+
+// InsertChainTraced is InsertChain under a trace context: the batch span
+// joins the trace (so a gossiped block's import shows up as a child of
+// its origin seal on any node), and head switches publish their events
+// stamped with it. A zero context degrades to plain InsertChain.
+func (c *Chain) InsertChainTraced(blocks []*types.Block, tc telemetry.TraceContext) (int, error) {
 	if len(blocks) == 0 {
 		return 0, nil
 	}
 	mBatchBlocks.Observe(uint64(len(blocks)))
-	span := telemetry.StartSpan("chain.InsertChain")
+	span := telemetry.StartSpanIn(tc, "chain.InsertChain")
 
 	// Stage 1: parallel stateless verification. Workers pull block indices
 	// from a shared cursor and publish results through per-block channels,
@@ -398,7 +414,7 @@ func (c *Chain) InsertChain(blocks []*types.Block) (int, error) {
 		}
 		c.mu.Lock()
 		t1 := now()
-		_, err := c.insertVerifiedLocked(blk)
+		_, err := c.insertVerifiedLocked(blk, tc)
 		mStage2Ns.ObserveDuration(since(t1))
 		c.mu.Unlock()
 		recordImport(err)
@@ -459,8 +475,9 @@ func (c *Chain) verifyHeaderLink(parent, child *types.Header) error {
 // insertVerifiedLocked runs stage 2 for a block whose stateless checks
 // already passed: parent lookup, header-link rules, execution against the
 // parent state, state-root comparison and fork choice. Callers hold the
-// write lock.
-func (c *Chain) insertVerifiedLocked(blk *types.Block) (bool, error) {
+// write lock. tc is the block's trace context, threaded into setHead's
+// event publication; a zero context is fine.
+func (c *Chain) insertVerifiedLocked(blk *types.Block, tc telemetry.TraceContext) (bool, error) {
 	id := blk.ID()
 	if _, known := c.entries[id]; known {
 		return false, fmt.Errorf("%w: %s", ErrKnownBlock, id.Short())
@@ -497,7 +514,7 @@ func (c *Chain) insertVerifiedLocked(blk *types.Block) (bool, error) {
 	c.entries[id] = e
 
 	if e.totalDif > c.head.totalDif {
-		c.setHead(e)
+		c.setHead(e, tc)
 		c.pruneStatesLocked()
 		return true, nil
 	}
@@ -547,7 +564,7 @@ func (c *Chain) verifyShape(blk *types.Block) error {
 // reorg copies the kept prefix of canon/sraIndex into fresh arrays
 // before appending — truncating in place and re-appending would
 // overwrite the abandoned suffix older views still read.
-func (c *Chain) setHead(e *entry) {
+func (c *Chain) setHead(e *entry, tc telemetry.TraceContext) {
 	// Build the new canonical path back to a block already canonical.
 	var path []*entry
 	cursor := e
@@ -598,6 +615,11 @@ func (c *Chain) setHead(e *entry) {
 	}
 
 	// Append the new suffix (path is head→forkPoint+1, reverse it).
+	// Lifecycle events for the newly-canonical blocks are published as
+	// the indexes are rebuilt: after a reorg the re-canonicalized suffix
+	// re-emits, which SSE consumers must treat as the authoritative
+	// replay, exactly like re-reading the chain. The bus stamps event
+	// timestamps itself, so no wall-clock read happens under c.mu.
 	for i := len(path) - 1; i >= 0; i-- {
 		en := path[i]
 		c.canon = append(c.canon, en)
@@ -625,6 +647,18 @@ func (c *Chain) setHead(e *entry) {
 						ID:          sra.ID,
 						BlockNumber: en.block.Header.Number,
 					})
+					telemetry.PublishEvent("sra", tc, map[string]string{
+						"id":    sra.ID.String(),
+						"block": strconv.FormatUint(en.block.Header.Number, 10),
+					})
+				}
+			}
+			if tx.Kind == types.TxDetailedReport && en.receipts[j].Success {
+				if r, err := tx.DetailedReport(); err == nil {
+					telemetry.PublishEvent("verdict", tc, map[string]string{
+						"sra":   r.SRAID.String(),
+						"block": strconv.FormatUint(en.block.Header.Number, 10),
+					})
 				}
 			}
 		}
@@ -632,6 +666,11 @@ func (c *Chain) setHead(e *entry) {
 	c.head = e
 	mHeadHeight.Set(int64(e.block.Header.Number))
 	c.publishView()
+	telemetry.PublishEvent("head", tc, map[string]string{
+		"number": strconv.FormatUint(e.block.Header.Number, 10),
+		"id":     e.block.ID().String(),
+		"txs":    strconv.Itoa(len(e.block.Txs)),
+	})
 }
 
 // reportSRAID extracts the SRA a detection-report transaction refers to.

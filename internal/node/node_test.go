@@ -7,6 +7,7 @@ import (
 	"github.com/smartcrowd/smartcrowd/internal/contract"
 	"github.com/smartcrowd/smartcrowd/internal/detection"
 	"github.com/smartcrowd/smartcrowd/internal/p2p"
+	"github.com/smartcrowd/smartcrowd/internal/telemetry"
 	"github.com/smartcrowd/smartcrowd/internal/types"
 	"github.com/smartcrowd/smartcrowd/internal/wallet"
 )
@@ -446,7 +447,7 @@ func TestDuplicateBlockRedeliveryIsBenign(t *testing.T) {
 	// path, no orphan buffering, no state disturbance.
 	p1.mu.Lock()
 	delete(p1.seenBlocks, blk.ID())
-	p1.acceptBlock(blk, false)
+	p1.acceptBlock(blk, false, telemetry.TraceContext{})
 	if len(p1.orphans) != 0 {
 		p1.mu.Unlock()
 		t.Fatal("redelivered known block was buffered as an orphan")

@@ -12,12 +12,13 @@ package node
 import (
 	"errors"
 	"fmt"
-	"log"
+	"strconv"
 	"sync"
 
 	"github.com/smartcrowd/smartcrowd/internal/chain"
 	"github.com/smartcrowd/smartcrowd/internal/p2p"
 	"github.com/smartcrowd/smartcrowd/internal/pow"
+	"github.com/smartcrowd/smartcrowd/internal/telemetry"
 	"github.com/smartcrowd/smartcrowd/internal/txpool"
 	"github.com/smartcrowd/smartcrowd/internal/types"
 	"github.com/smartcrowd/smartcrowd/internal/wallet"
@@ -27,6 +28,13 @@ import (
 // ancestry has not arrived yet; an unbounded buffer would let a peer park
 // arbitrary junk in memory forever.
 const maxOrphans = 128
+
+// maxBlockTraces bounds the block-id → trace-context association a node
+// keeps so backfill replies can carry the block's original trace.
+const maxBlockTraces = 512
+
+// nodeLog is the package's structured logger.
+var nodeLog = telemetry.Log("node")
 
 // ProviderNode is a mining IoT provider: a full SmartCrowd node.
 type ProviderNode struct {
@@ -40,6 +48,12 @@ type ProviderNode struct {
 	seenTxs    map[types.Hash]bool
 	seenBlocks map[types.Hash]bool
 	orphans    map[types.Hash]*types.Block // parent id → block awaiting parent
+
+	// blockTraces remembers which trace a block belongs to (FIFO-bounded
+	// by traceOrder), so backfill replies and re-gossip carry the block's
+	// original lifecycle trace instead of starting a fresh one.
+	blockTraces map[types.Hash]telemetry.TraceContext
+	traceOrder  []types.Hash
 }
 
 // NewProvider creates a provider node with its own chain instance and
@@ -54,15 +68,61 @@ func NewProvider(id p2p.NodeID, w *wallet.Wallet, cfg chain.Config, net p2p.Tran
 		net.Join(id)
 	}
 	return &ProviderNode{
-		id:         id,
-		wallet:     w,
-		net:        net,
-		chain:      c,
-		pool:       txpool.New(txpool.Config{}),
-		seenTxs:    make(map[types.Hash]bool),
-		seenBlocks: make(map[types.Hash]bool),
-		orphans:    make(map[types.Hash]*types.Block),
+		id:          id,
+		wallet:      w,
+		net:         net,
+		chain:       c,
+		pool:        txpool.New(txpool.Config{}),
+		seenTxs:     make(map[types.Hash]bool),
+		seenBlocks:  make(map[types.Hash]bool),
+		orphans:     make(map[types.Hash]*types.Block),
+		blockTraces: make(map[types.Hash]telemetry.TraceContext),
 	}, nil
+}
+
+// rememberTrace associates a block with its trace context, evicting the
+// oldest association past the bound. Callers hold the lock.
+func (p *ProviderNode) rememberTrace(id types.Hash, tc telemetry.TraceContext) {
+	if !tc.Valid() {
+		return
+	}
+	if _, ok := p.blockTraces[id]; !ok {
+		p.traceOrder = append(p.traceOrder, id)
+		for len(p.traceOrder) > maxBlockTraces {
+			delete(p.blockTraces, p.traceOrder[0])
+			p.traceOrder = p.traceOrder[1:]
+		}
+	}
+	p.blockTraces[id] = tc
+}
+
+// TraceOf returns the trace context a block was sealed or imported
+// under, if the node still remembers it.
+func (p *ProviderNode) TraceOf(id types.Hash) (telemetry.TraceContext, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tc, ok := p.blockTraces[id]
+	return tc, ok
+}
+
+// PeerCount reports how many peers the transport is connected to, when
+// the transport exposes that (the TCP fabric does; the simulated bus
+// reports -1, meaning unknown).
+func (p *ProviderNode) PeerCount() int {
+	p.mu.Lock()
+	net := p.net
+	p.mu.Unlock()
+	if pc, ok := net.(interface{ PeerIDs() []p2p.NodeID }); ok {
+		return len(pc.PeerIDs())
+	}
+	return -1
+}
+
+// OrphanCount reports the current orphan-buffer depth.
+func (p *ProviderNode) OrphanCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.orphans)
 }
 
 // ID returns the node's network identity.
@@ -95,11 +155,19 @@ func (p *ProviderNode) Chain() *chain.Chain { return p.chain }
 func (p *ProviderNode) PoolLen() int { return p.pool.Len() }
 
 // SubmitTx validates a locally-originated transaction, pools it and
-// gossips it to peers.
+// gossips it to peers. Local admission mints a fresh trace: the tx's
+// gossip hops and eventual inclusion all parent under it.
 func (p *ProviderNode) SubmitTx(tx *types.Transaction) error {
+	span := telemetry.StartTrace("txpool.admit")
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.acceptTx(tx, true)
+	err := p.acceptTx(tx, true, span.Context())
+	p.mu.Unlock()
+	outcome := "ok"
+	if err != nil {
+		outcome = "rejected"
+	}
+	span.End(telemetry.L("node", string(p.id)), telemetry.L("outcome", outcome))
+	return err
 }
 
 // bufferOrphan parks a block whose parent is unknown. The buffer is
@@ -117,12 +185,12 @@ func (p *ProviderNode) bufferOrphan(b *types.Block) (evicted string) {
 		}
 		evicted = "replaced"
 		mOrphanReplaced.Inc()
-		log.Printf("node %s: orphan buffer evicted block %s (replaced by %s, same parent %s)",
-			p.id, old.ID().Short(), b.ID().Short(), parent.Short())
+		nodeLog.Warn("orphan buffer evicted block",
+			"node", p.id, "evicted", old.ID().Short(), "replacedBy", b.ID().Short(), "parent", parent.Short())
 	} else if len(p.orphans) >= maxOrphans {
 		mOrphanCapacity.Inc()
-		log.Printf("node %s: orphan buffer full (%d), dropping block %s (parent %s)",
-			p.id, maxOrphans, b.ID().Short(), parent.Short())
+		nodeLog.Warn("orphan buffer full, dropping block",
+			"node", p.id, "capacity", maxOrphans, "block", b.ID().Short(), "parent", parent.Short())
 		return "capacity"
 	}
 	p.orphans[parent] = b
@@ -131,8 +199,9 @@ func (p *ProviderNode) bufferOrphan(b *types.Block) (evicted string) {
 	return evicted
 }
 
-// acceptTx pools and optionally gossips; callers hold the lock.
-func (p *ProviderNode) acceptTx(tx *types.Transaction, gossip bool) error {
+// acceptTx pools and optionally gossips; callers hold the lock. tc is
+// the admission trace the gossip should carry (zero = untraced).
+func (p *ProviderNode) acceptTx(tx *types.Transaction, gossip bool, tc telemetry.TraceContext) error {
 	hash := tx.Hash()
 	if p.seenTxs[hash] {
 		mGossipDupTx.Inc()
@@ -144,7 +213,7 @@ func (p *ProviderNode) acceptTx(tx *types.Transaction, gossip bool) error {
 	}
 	p.seenTxs[hash] = true
 	if gossip && p.net != nil {
-		p.net.Broadcast(p.id, p2p.Message{Kind: p2p.MsgTx, Payload: types.EncodeTx(tx)})
+		p.net.Broadcast(p.id, p2p.Message{Kind: p2p.MsgTx, Payload: types.EncodeTx(tx), Trace: tc})
 	}
 	return nil
 }
@@ -159,14 +228,15 @@ func (p *ProviderNode) HandleMessages() {
 		return
 	}
 	var txBatch []*types.Transaction
+	var txTraces []telemetry.TraceContext
 	flushTxs := func() {
 		if len(txBatch) == 0 {
 			return
 		}
 		p.mu.Lock()
-		p.acceptTxs(txBatch, true)
+		p.acceptTxs(txBatch, txTraces, true)
 		p.mu.Unlock()
-		txBatch = nil
+		txBatch, txTraces = nil, nil
 	}
 	for _, msg := range p.net.Receive(p.id) {
 		switch msg.Kind {
@@ -177,6 +247,7 @@ func (p *ProviderNode) HandleMessages() {
 				continue // malformed gossip is dropped, not propagated
 			}
 			txBatch = append(txBatch, tx)
+			txTraces = append(txTraces, msg.Trace)
 		case p2p.MsgBlock:
 			flushTxs()
 			blk, err := types.DecodeBlock(msg.Payload)
@@ -187,7 +258,7 @@ func (p *ProviderNode) HandleMessages() {
 			// Warm the ECDSA caches while we wait for the node lock.
 			types.PrefetchSenders(blk.Txs)
 			p.mu.Lock()
-			p.acceptBlock(blk, true)
+			p.acceptBlock(blk, true, msg.Trace)
 			// If the block orphaned, backfill its ancestry from the peer
 			// that announced it.
 			if _, missing := p.orphans[blk.Header.ParentID]; missing && !p.chain.HasBlock(blk.Header.ParentID) {
@@ -209,9 +280,14 @@ func (p *ProviderNode) HandleMessages() {
 			if err != nil {
 				continue // we don't have it either
 			}
+			// Backfill replies carry the block's original lifecycle trace
+			// when we still remember it, so even post-partition imports
+			// join the right causal story.
+			tc, _ := p.TraceOf(id)
 			_ = p.net.Send(p.id, msg.From, p2p.Message{
 				Kind:    p2p.MsgBlock,
 				Payload: types.EncodeBlock(blk),
+				Trace:   tc,
 			})
 		}
 	}
@@ -220,26 +296,40 @@ func (p *ProviderNode) HandleMessages() {
 
 // acceptTxs admits a batch of gossiped transactions through the pool's
 // batched admission (sender recovery fans out across the prefetcher pool)
-// and relays the newly admitted ones. Callers hold the lock.
-func (p *ProviderNode) acceptTxs(txs []*types.Transaction, gossip bool) {
+// and relays the newly admitted ones, each under the trace it arrived
+// with. traces parallels txs (nil = all untraced). Callers hold the lock.
+func (p *ProviderNode) acceptTxs(txs []*types.Transaction, traces []telemetry.TraceContext, gossip bool) {
 	fresh := make([]*types.Transaction, 0, len(txs))
-	for _, tx := range txs {
+	freshTraces := make([]telemetry.TraceContext, 0, len(txs))
+	batchTrace := telemetry.TraceContext{}
+	for i, tx := range txs {
 		if !p.seenTxs[tx.Hash()] {
 			fresh = append(fresh, tx)
+			var tc telemetry.TraceContext
+			if i < len(traces) {
+				tc = traces[i]
+			}
+			freshTraces = append(freshTraces, tc)
+			if !batchTrace.Valid() && tc.Valid() {
+				// The admission span joins the first traced tx's story;
+				// spans are batch-granular, so one parent has to stand in
+				// for the batch.
+				batchTrace = tc
+			}
 		}
 	}
 	if len(fresh) == 0 {
 		return
 	}
 	st := p.chain.State()
-	for i, err := range p.pool.AddAll(fresh, st) {
+	for i, err := range p.pool.AddAllTraced(fresh, st, batchTrace) {
 		if err != nil {
 			continue // duplicates and invalid txs are ignored
 		}
 		tx := fresh[i]
 		p.seenTxs[tx.Hash()] = true
 		if gossip && p.net != nil {
-			p.net.Broadcast(p.id, p2p.Message{Kind: p2p.MsgTx, Payload: types.EncodeTx(tx)})
+			p.net.Broadcast(p.id, p2p.Message{Kind: p2p.MsgTx, Payload: types.EncodeTx(tx), Trace: freshTraces[i]})
 		}
 	}
 }
@@ -250,11 +340,23 @@ func (p *ProviderNode) acceptTxs(txs []*types.Transaction, gossip bool) {
 // partition heals, the backfilled ancestor pulls the whole buffered branch
 // in as a single batch. Duplicate imports (gossip redelivery, a block the
 // chain already holds) are benign no-ops, not failures.
-func (p *ProviderNode) acceptBlock(blk *types.Block, gossip bool) {
+//
+// tc is the trace the block arrived under (zero for untraced gossip).
+// The import is recorded as a child span, and the relay to our peers is
+// parented under that span — every hop in the dissemination tree shows
+// up as one more level of the origin trace.
+func (p *ProviderNode) acceptBlock(blk *types.Block, gossip bool, tc telemetry.TraceContext) {
 	id := blk.ID()
 	if p.seenBlocks[id] {
 		mGossipDupBlock.Inc()
 		return
+	}
+
+	span := telemetry.StartSpanIn(tc, "block.import")
+	relay := tc
+	if tc.Valid() {
+		p.rememberTrace(id, tc)
+		relay = span.Context()
 	}
 
 	// Collect the segment: the block plus the orphan chain hanging off it.
@@ -270,7 +372,12 @@ func (p *ProviderNode) acceptBlock(blk *types.Block, gossip bool) {
 	}
 	mOrphanDepth.Set(int64(len(p.orphans)))
 
-	n, err := p.chain.InsertChain(segment)
+	n, err := p.chain.InsertChainTraced(segment, tc)
+	span.End(
+		telemetry.L("node", string(p.id)),
+		telemetry.L("block", id.Short()),
+		telemetry.L("inserted", strconv.Itoa(n)),
+	)
 	for _, b := range segment[:n] {
 		bid := b.ID()
 		if p.seenBlocks[bid] {
@@ -278,7 +385,13 @@ func (p *ProviderNode) acceptBlock(blk *types.Block, gossip bool) {
 		}
 		p.seenBlocks[bid] = true
 		if gossip && p.net != nil {
-			p.net.Broadcast(p.id, p2p.Message{Kind: p2p.MsgBlock, Payload: types.EncodeBlock(b)})
+			// Orphan descendants keep their own remembered traces; the
+			// freshly-arrived block relays under our import span.
+			btc := relay
+			if bid != id {
+				btc, _ = p.blockTraces[bid]
+			}
+			p.net.Broadcast(p.id, p2p.Message{Kind: p2p.MsgBlock, Payload: types.EncodeBlock(b), Trace: btc})
 		}
 	}
 	if n > 0 {
@@ -316,6 +429,12 @@ func (p *ProviderNode) acceptBlock(blk *types.Block, gossip bool) {
 // sealing, the stale solution is discarded and ErrStaleSeal is returned —
 // the caller simply tries again, exactly like a real miner.
 func (p *ProviderNode) SealAndPublish(sealer pow.Sealer, timestamp, difficulty uint64, maxTxs int, stop <-chan struct{}) (*types.Block, error) {
+	// The root of the block's lifecycle trace: build, nonce search,
+	// import and every downstream gossip hop parent under this context.
+	root := telemetry.StartTrace("block.seal")
+	tc := root.Context()
+
+	buildSpan := telemetry.StartSpanIn(tc, "block.build")
 	p.mu.Lock()
 	head := p.chain.Head()
 	if timestamp <= head.Header.Time {
@@ -324,32 +443,49 @@ func (p *ProviderNode) SealAndPublish(sealer pow.Sealer, timestamp, difficulty u
 	txs := p.pool.Pending(p.chain.State(), maxTxs)
 	blk, err := p.chain.BuildBlock(head.ID(), p.wallet.Address(), timestamp, difficulty, txs)
 	p.mu.Unlock()
+	buildSpan.End(telemetry.L("node", string(p.id)), telemetry.L("txs", strconv.Itoa(len(txs))))
 	if err != nil {
 		return nil, fmt.Errorf("node: build block: %w", err)
 	}
 
+	powSpan := telemetry.StartSpanIn(tc, "pow.seal")
 	sealed, err := sealer.Seal(blk.Header, stop)
 	if err != nil {
+		powSpan.End(telemetry.L("node", string(p.id)), telemetry.L("outcome", "aborted"))
 		return nil, err
 	}
+	powSpan.End(telemetry.L("node", string(p.id)), telemetry.L("outcome", "ok"))
 	blk.Header = sealed
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.chain.Head().ID() != head.ID() {
+		root.End(telemetry.L("node", string(p.id)), telemetry.L("outcome", "stale"))
 		return nil, ErrStaleSeal
 	}
-	if _, err := p.chain.InsertBlock(blk); err != nil {
+	importSpan := telemetry.StartSpanIn(tc, "block.import")
+	_, err = p.chain.InsertBlockTraced(blk, tc)
+	importSpan.End(telemetry.L("node", string(p.id)), telemetry.L("block", blk.ID().Short()))
+	if err != nil {
+		root.End(telemetry.L("node", string(p.id)), telemetry.L("outcome", "invalid"))
 		return nil, fmt.Errorf("node: insert sealed block: %w", err)
 	}
 	p.seenBlocks[blk.ID()] = true
+	p.rememberTrace(blk.ID(), tc)
 	for _, tx := range blk.Txs {
 		p.pool.Remove(tx.Hash())
 	}
 	p.pool.Prune(p.chain.State())
 	if p.net != nil {
-		p.net.Broadcast(p.id, p2p.Message{Kind: p2p.MsgBlock, Payload: types.EncodeBlock(blk)})
+		p.net.Broadcast(p.id, p2p.Message{Kind: p2p.MsgBlock, Payload: types.EncodeBlock(blk), Trace: tc})
 	}
+	root.End(
+		telemetry.L("node", string(p.id)),
+		telemetry.L("number", strconv.FormatUint(blk.Header.Number, 10)),
+		telemetry.L("outcome", "ok"),
+	)
+	nodeLog.WithTrace(tc).Debug("sealed and published block",
+		"node", p.id, "number", blk.Header.Number, "id", blk.ID().Short(), "txs", len(blk.Txs))
 	return blk, nil
 }
 
@@ -366,6 +502,9 @@ func (p *ProviderNode) MineBlock(timestamp, difficulty, nonce uint64, maxTxs int
 	p.mu.Lock()
 	defer p.mu.Unlock()
 
+	root := telemetry.StartTrace("block.seal")
+	tc := root.Context()
+
 	head := p.chain.Head()
 	if timestamp <= head.Header.Time {
 		timestamp = head.Header.Time + 1
@@ -373,19 +512,27 @@ func (p *ProviderNode) MineBlock(timestamp, difficulty, nonce uint64, maxTxs int
 	txs := p.pool.Pending(p.chain.State(), maxTxs)
 	blk, err := p.chain.BuildBlock(head.ID(), p.wallet.Address(), timestamp, difficulty, txs)
 	if err != nil {
+		root.End(telemetry.L("node", string(p.id)), telemetry.L("outcome", "build-failed"))
 		return nil, fmt.Errorf("node: build block: %w", err)
 	}
 	blk.Header.Nonce = nonce
-	if _, err := p.chain.InsertBlock(blk); err != nil {
+	if _, err := p.chain.InsertBlockTraced(blk, tc); err != nil {
+		root.End(telemetry.L("node", string(p.id)), telemetry.L("outcome", "invalid"))
 		return nil, fmt.Errorf("node: insert mined block: %w", err)
 	}
 	p.seenBlocks[blk.ID()] = true
+	p.rememberTrace(blk.ID(), tc)
 	for _, tx := range blk.Txs {
 		p.pool.Remove(tx.Hash())
 	}
 	p.pool.Prune(p.chain.State())
 	if p.net != nil {
-		p.net.Broadcast(p.id, p2p.Message{Kind: p2p.MsgBlock, Payload: types.EncodeBlock(blk)})
+		p.net.Broadcast(p.id, p2p.Message{Kind: p2p.MsgBlock, Payload: types.EncodeBlock(blk), Trace: tc})
 	}
+	root.End(
+		telemetry.L("node", string(p.id)),
+		telemetry.L("number", strconv.FormatUint(blk.Header.Number, 10)),
+		telemetry.L("outcome", "ok"),
+	)
 	return blk, nil
 }

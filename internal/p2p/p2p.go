@@ -12,6 +12,8 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+
+	"github.com/smartcrowd/smartcrowd/internal/telemetry"
 )
 
 // NodeID identifies a participant.
@@ -46,11 +48,15 @@ func (k MsgKind) String() string {
 	}
 }
 
-// Message is one gossip payload.
+// Message is one gossip payload. Trace, when valid, is the block
+// lifecycle the payload belongs to; the wire transport propagates it
+// across processes in a frame envelope, and the simulated network
+// carries it verbatim.
 type Message struct {
 	From    NodeID
 	Kind    MsgKind
 	Payload []byte
+	Trace   telemetry.TraceContext
 }
 
 // Config tunes the network.

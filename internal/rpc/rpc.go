@@ -16,6 +16,8 @@
 //	GET  /v1/reference/{id}            consumer security reference
 //	GET  /v1/proof/{txhash}            Merkle inclusion proof for a tx
 //	POST /v1/tx                        submit a hex-encoded transaction
+//	GET  /v1/events                    live SSE feed of heads/SRAs/verdicts
+//	GET  /v1/health                    readiness probe (peers, head age, depths)
 //
 // The original unprefixed paths remain as deprecated aliases: they serve
 // identical responses plus a "Deprecation: true" header and a Link to the
@@ -48,6 +50,8 @@
 //	GET  /metrics                      Prometheus text exposition
 //	GET  /debug/vars                   expvar JSON (includes "smartcrowd")
 //	GET  /debug/spans                  recent traced spans, oldest first
+//	GET  /debug/traces                 hierarchical traces (?id= for one)
+//	GET  /debug/logs                   structured-log ring (?level= filter)
 //	GET  /debug/pprof/...              net/http/pprof (Config.EnablePprof)
 package rpc
 
@@ -176,12 +180,20 @@ func NewServerWith(n *node.ProviderNode, c *contract.Contract, cfg Config) *Serv
 	s.mux.HandleFunc("GET /v1/sras", s.measured(s.handleSRAList))
 	s.mux.HandleFunc("GET /v1/blocks", s.measured(s.handleBlockList))
 
+	// Streaming and readiness endpoints: versioned because consumers
+	// script against them, but deliberately outside the cache/view
+	// machinery — both answer from live process state.
+	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
+
 	// Observability surface. The metrics registry is process-wide, so
 	// every server mounted in one process serves the same numbers.
 	telemetry.PublishExpvar()
 	s.mux.Handle("GET /metrics", telemetry.Handler())
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
 	s.mux.HandleFunc("GET /debug/spans", s.handleSpans)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /debug/logs", s.handleLogs)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -190,15 +202,6 @@ func NewServerWith(n *node.ProviderNode, c *contract.Contract, cfg Config) *Serv
 		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
 	return s
-}
-
-// handleSpans serves the tracer's recent-span ring, oldest first.
-func (s *Server) handleSpans(w http.ResponseWriter, _ *http.Request) {
-	spans := telemetry.RecentSpans()
-	if spans == nil {
-		spans = []telemetry.SpanRecord{}
-	}
-	writeJSON(w, http.StatusOK, spans)
 }
 
 // ServeHTTP implements http.Handler.

@@ -438,6 +438,31 @@ func (r *runner) submitInitial(detectorIdx int, sraID types.Hash, finding types.
 	})
 }
 
+// Gossip propagation model parameters: a freshly sealed block reaches
+// each other provider after 1–2 relay hops, each an exponentially
+// distributed delay. The 40ms mean hop matches the cross-region TCP
+// latencies the wire transport's smartcrowd_wire_propagation_ms
+// histogram observes in deployment, so the sim's seal→import summary is
+// comparable with live numbers.
+const simHopMeanMs = 40.0
+
+// samplePropagation records one modeled seal→import latency sample per
+// non-mining provider — the sim-side counterpart of the wire transport's
+// end-to-end propagation measurement.
+func (r *runner) samplePropagation(winner int) {
+	for i := range r.providerWallets {
+		if i == winner {
+			continue
+		}
+		hops := 1 + r.rng.Intn(2)
+		delay := 0.0
+		for h := 0; h < hops; h++ {
+			delay += r.rng.ExpFloat64() * simHopMeanMs
+		}
+		r.metrics.propagation.Observe(uint64(delay))
+	}
+}
+
 // mine lets the lottery winner seal a block from the pool, then performs
 // incentive attribution and schedules eligible reveals.
 func (r *runner) mine(ev pow.SealEvent) {
@@ -481,6 +506,7 @@ func (r *runner) mine(ev pow.SealEvent) {
 	r.metrics.blocks.Inc()
 	r.metrics.blockInterval.Observe(uint64(ev.Interval / time.Millisecond))
 	r.metrics.blockTxs.Observe(uint64(len(blk.Txs)))
+	r.samplePropagation(ev.Winner)
 	r.metrics.rewardGwei.Add(uint64(r.chain.Config().BlockReward))
 	for _, tx := range blk.Txs {
 		receipt, err := r.chain.ReceiptOf(tx.Hash())

@@ -17,6 +17,7 @@ type simMetrics struct {
 	reg           *telemetry.Registry
 	blockInterval *telemetry.Histogram // milliseconds between blocks
 	blockTxs      *telemetry.Histogram
+	propagation   *telemetry.Histogram // seal→import latency per simulated peer
 	blocks        *telemetry.Counter
 	feesGwei      *telemetry.Counter
 	rewardGwei    *telemetry.Counter // miner block rewards
@@ -31,6 +32,7 @@ func newSimMetrics() *simMetrics {
 		reg:           reg,
 		blockInterval: reg.Histogram("smartcrowd_sim_block_interval_ms"),
 		blockTxs:      reg.Histogram("smartcrowd_sim_block_txs"),
+		propagation:   reg.Histogram("smartcrowd_sim_propagation_ms"),
 		blocks:        reg.Counter("smartcrowd_sim_blocks_total"),
 		feesGwei:      reg.Counter("smartcrowd_sim_fees_gwei_total"),
 		rewardGwei:    reg.Counter("smartcrowd_sim_payout_gwei_total", telemetry.L("role", "miner_reward")),
@@ -39,6 +41,8 @@ func newSimMetrics() *simMetrics {
 		gasGwei:       reg.Counter("smartcrowd_sim_payout_gwei_total", telemetry.L("role", "sender_gas")),
 	}
 	reg.SetHelp("smartcrowd_sim_block_interval_ms", "interval between sealed blocks in simulated milliseconds")
+	reg.SetHelp("smartcrowd_sim_propagation_ms",
+		"modeled seal→import latency in milliseconds, one sample per non-mining provider per block — the sim's counterpart of the wire transport's smartcrowd_wire_propagation_ms{leg=e2e}")
 	reg.SetHelp("smartcrowd_sim_payout_gwei_total", "gwei moved per incentive role over the run")
 	return m
 }
@@ -68,6 +72,17 @@ func (r *Result) TelemetrySummary() string {
 	sb.WriteString(fmt.Sprintf("  txs per block:     p50 %.0f  max %.0f\n",
 		r.telemetry.Values["smartcrowd_sim_block_txs_p50"],
 		r.telemetry.Values["smartcrowd_sim_block_txs_max"]))
+	// Seal→import propagation across the simulated providers; absent when
+	// the run has a single provider (nothing to propagate to).
+	if r.telemetry.Values["smartcrowd_sim_propagation_ms_count"] > 0 {
+		pmax := r.telemetry.Values["smartcrowd_sim_propagation_ms_max"]
+		pclamp := func(v float64) float64 { return math.Min(v, pmax) }
+		sb.WriteString(fmt.Sprintf("  seal→import:       p50 %s  p99 %s  max %s (%.0f samples)\n",
+			msStr(pclamp(r.telemetry.Values["smartcrowd_sim_propagation_ms_p50"])),
+			msStr(pclamp(r.telemetry.Values["smartcrowd_sim_propagation_ms_p99"])),
+			msStr(pmax),
+			r.telemetry.Values["smartcrowd_sim_propagation_ms_count"]))
+	}
 	sb.WriteString(fmt.Sprintf("  fees collected:    %.0f gwei\n", r.telemetry.Values["smartcrowd_sim_fees_gwei_total"]))
 	roles := make([]string, 0, 4)
 	for k := range r.telemetry.Values {

@@ -43,6 +43,17 @@ func TestRunTelemetryMatchesResult(t *testing.T) {
 	if p50 <= 0 || max < p50 {
 		t.Errorf("interval quantiles implausible: p50=%v max=%v", p50, max)
 	}
+	// The propagation model samples every non-mining provider once per
+	// block: blocks × (providers − 1) observations exactly.
+	nProviders := float64(len(paperProviders()))
+	if got, want := tel.Values["smartcrowd_sim_propagation_ms_count"], blocks*(nProviders-1); got != want {
+		t.Errorf("propagation samples = %v, want blocks×(providers-1) = %v", got, want)
+	}
+	pp50 := tel.Values["smartcrowd_sim_propagation_ms_p50"]
+	pp99 := tel.Values["smartcrowd_sim_propagation_ms_p99"]
+	if pp50 <= 0 || pp99 < pp50 {
+		t.Errorf("propagation quantiles implausible: p50=%v p99=%v", pp50, pp99)
+	}
 }
 
 // TestTelemetrySummaryRendering checks the human-readable rendering pulls
@@ -61,6 +72,7 @@ func TestTelemetrySummaryRendering(t *testing.T) {
 		"telemetry summary:",
 		"blocks sealed:",
 		"block interval:",
+		"seal→import:",
 		"miner_reward:",
 		"sender_gas:",
 	} {

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Lifecycle event bus backing the /v1/events SSE feed. Producers (chain
+// setHead, node admission) publish small typed events — new head, SRA
+// recorded, verdict recorded — stamped with their trace ids; consumers
+// subscribe with a bounded buffer and are dropped-from rather than
+// blocked-on when slow. A replay ring lets a reconnecting subscriber
+// resume from its last seen sequence number (SSE Last-Event-ID).
+
+// eventRingSize bounds the replay window.
+const eventRingSize = 256
+
+// Event is one lifecycle notification.
+type Event struct {
+	// Seq is a process-wide monotonically increasing sequence number;
+	// SSE clients replay from it after a reconnect.
+	Seq        uint64 `json:"seq"`
+	TimeUnixMs int64  `json:"timeUnixMs"`
+	// Type is the event kind: "head", "sra", "verdict", ...
+	Type  string            `json:"type"`
+	Trace string            `json:"trace,omitempty"`
+	Data  map[string]string `json:"data,omitempty"`
+}
+
+// eventBus is the process-wide publish/subscribe fabric.
+type eventBus struct {
+	mu    sync.Mutex
+	seq   uint64
+	buf   [eventRingSize]Event
+	next  int
+	total uint64
+	subs  map[int]chan Event
+	subID int
+}
+
+var events = &eventBus{subs: make(map[int]chan Event)}
+
+var (
+	mEventsPublished = GetCounter("smartcrowd_events_published_total")
+	mEventsDropped   = GetCounter("smartcrowd_events_dropped_total")
+)
+
+func init() {
+	SetHelp("smartcrowd_events_published_total", "Lifecycle events published on the event bus.")
+	SetHelp("smartcrowd_events_dropped_total", "Events dropped because a subscriber's buffer was full.")
+}
+
+// PublishEvent files an event on the process-wide bus. The bus stamps
+// the timestamp and sequence number itself so producers holding locks
+// need not read the clock.
+func PublishEvent(typ string, tc TraceContext, data map[string]string) {
+	e := Event{
+		TimeUnixMs: time.Now().UnixMilli(),
+		Type:       typ,
+		Data:       data,
+	}
+	if tc.Valid() {
+		e.Trace = tc.TraceID.String()
+	}
+	mEventsPublished.Inc()
+
+	events.mu.Lock()
+	events.seq++
+	e.Seq = events.seq
+	events.buf[events.next] = e
+	events.next = (events.next + 1) % eventRingSize
+	events.total++
+	for _, ch := range events.subs {
+		select {
+		case ch <- e:
+		default:
+			mEventsDropped.Inc()
+		}
+	}
+	events.mu.Unlock()
+}
+
+// SubscribeEvents registers a subscriber with the given channel buffer
+// (minimum 1). The returned cancel func must be called exactly once; it
+// closes the channel.
+func SubscribeEvents(buf int) (<-chan Event, func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan Event, buf)
+	events.mu.Lock()
+	events.subID++
+	id := events.subID
+	events.subs[id] = ch
+	events.mu.Unlock()
+	cancel := func() {
+		events.mu.Lock()
+		if _, ok := events.subs[id]; ok {
+			delete(events.subs, id)
+			close(ch)
+		}
+		events.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// EventsSince returns retained events with Seq > since, oldest first.
+// since=0 returns the full replay window.
+func EventsSince(since uint64) []Event {
+	events.mu.Lock()
+	defer events.mu.Unlock()
+	n := eventRingSize
+	if events.total < uint64(n) {
+		n = int(events.total)
+	}
+	out := make([]Event, 0, n)
+	start := (events.next - n + eventRingSize) % eventRingSize
+	for i := 0; i < n; i++ {
+		e := events.buf[(start+i)%eventRingSize]
+		if e.Seq > since {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// EventSeq returns the bus's current (latest assigned) sequence number.
+func EventSeq() uint64 {
+	events.mu.Lock()
+	defer events.mu.Unlock()
+	return events.seq
+}

@@ -1,0 +1,255 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Leveled structured logging. Library code logs through subsystem-keyed
+// Logger values instead of stdlib log.Printf: every entry is a flat
+// key=value line (machine-greppable, no format-string drift), carries an
+// optional trace id, lands in a bounded ring served at /debug/logs, and
+// is counted per level in smartcrowd_log_entries_total. Stdlib-only,
+// like the rest of this package.
+
+// Level orders log severities.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String renders the level the way log lines and /debug/logs do.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int32(l))
+	}
+}
+
+// logRingSize bounds the entries retained for /debug/logs.
+const logRingSize = 1024
+
+// LogEntry is one retained log line.
+type LogEntry struct {
+	TimeUnixMs int64  `json:"timeUnixMs"`
+	Level      string `json:"level"`
+	Subsystem  string `json:"subsystem"`
+	Msg        string `json:"msg"`
+	// Fields is the rendered `k=v k2=v2` tail, already formatted so the
+	// ring holds no per-entry maps.
+	Fields string `json:"fields,omitempty"`
+	Trace  string `json:"trace,omitempty"`
+}
+
+// logSink is the process-wide log destination: a writer plus a ring.
+// Logging is never on a consensus hot path, so one mutex is fine.
+type logSink struct {
+	mu    sync.Mutex
+	out   io.Writer
+	buf   [logRingSize]LogEntry
+	next  int
+	total uint64
+}
+
+var (
+	sink     = &logSink{out: os.Stderr}
+	minLevel atomic.Int32 // Level; entries below are dropped entirely
+)
+
+func init() {
+	minLevel.Store(int32(LevelInfo))
+}
+
+// Metrics for the logging surface itself, registered at package init so
+// /metrics shows the families before any traffic.
+var logEntryCounters = [4]*Counter{
+	GetCounter("smartcrowd_log_entries_total", L("level", "debug")),
+	GetCounter("smartcrowd_log_entries_total", L("level", "info")),
+	GetCounter("smartcrowd_log_entries_total", L("level", "warn")),
+	GetCounter("smartcrowd_log_entries_total", L("level", "error")),
+}
+
+func init() {
+	SetHelp("smartcrowd_log_entries_total", "Structured log entries emitted, by level.")
+}
+
+// SetLogOutput redirects rendered log lines (default os.Stderr). Pass
+// io.Discard to keep the ring but silence the stream.
+func SetLogOutput(w io.Writer) {
+	sink.mu.Lock()
+	sink.out = w
+	sink.mu.Unlock()
+}
+
+// SetLogLevel sets the minimum emitted level (default LevelInfo).
+func SetLogLevel(l Level) { minLevel.Store(int32(l)) }
+
+// LogLevel returns the current minimum level.
+func LogLevel() Level { return Level(minLevel.Load()) }
+
+// RecentLogs returns retained entries oldest-first.
+func RecentLogs() []LogEntry {
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	n := logRingSize
+	if sink.total < uint64(n) {
+		n = int(sink.total)
+	}
+	out := make([]LogEntry, 0, n)
+	start := (sink.next - n + logRingSize) % logRingSize
+	for i := 0; i < n; i++ {
+		out = append(out, sink.buf[(start+i)%logRingSize])
+	}
+	return out
+}
+
+// Logger emits entries for one subsystem. The zero value logs with an
+// empty subsystem; obtain loggers via Log. Logger is a small value —
+// copy it freely, derive trace-stamped children with WithTrace.
+type Logger struct {
+	subsys string
+	trace  string
+}
+
+// Log returns the logger for a subsystem (conventionally the package
+// name: "node", "wire", "chain", ...).
+func Log(subsys string) Logger { return Logger{subsys: subsys} }
+
+// WithTrace returns a copy of the logger that stamps entries with the
+// context's trace id. An invalid context returns the logger unchanged.
+func (l Logger) WithTrace(tc TraceContext) Logger {
+	if !tc.Valid() {
+		return l
+	}
+	l.trace = tc.TraceID.String()
+	return l
+}
+
+// Debug logs at debug level (dropped unless SetLogLevel(LevelDebug)).
+func (l Logger) Debug(msg string, kv ...interface{}) { l.emit(LevelDebug, msg, kv) }
+
+// Info logs at info level.
+func (l Logger) Info(msg string, kv ...interface{}) { l.emit(LevelInfo, msg, kv) }
+
+// Warn logs at warn level.
+func (l Logger) Warn(msg string, kv ...interface{}) { l.emit(LevelWarn, msg, kv) }
+
+// Error logs at error level.
+func (l Logger) Error(msg string, kv ...interface{}) { l.emit(LevelError, msg, kv) }
+
+// Fatal logs at error level and exits the process. For main packages and
+// examples; library code should return errors instead.
+func (l Logger) Fatal(msg string, kv ...interface{}) {
+	l.emit(LevelError, msg, kv)
+	osExit(1)
+}
+
+// osExit is swapped out by tests.
+var osExit = os.Exit
+
+// emit renders and files one entry. kv is alternating key, value; a
+// trailing odd value is rendered under the key "!badkey" rather than
+// dropped, so mistakes surface in the output.
+func (l Logger) emit(level Level, msg string, kv []interface{}) {
+	if int32(level) < minLevel.Load() {
+		return
+	}
+	if level >= LevelDebug && level <= LevelError {
+		logEntryCounters[level].Inc()
+	}
+	now := time.Now()
+	entry := LogEntry{
+		TimeUnixMs: now.UnixMilli(),
+		Level:      level.String(),
+		Subsystem:  l.subsys,
+		Msg:        msg,
+		Fields:     renderFields(kv),
+		Trace:      l.trace,
+	}
+
+	var sb strings.Builder
+	sb.Grow(96 + len(msg) + len(entry.Fields))
+	sb.WriteString(now.UTC().Format("2006-01-02T15:04:05.000Z"))
+	sb.WriteString(" level=")
+	sb.WriteString(entry.Level)
+	sb.WriteString(" sub=")
+	sb.WriteString(l.subsys)
+	sb.WriteString(" msg=")
+	sb.WriteString(quoteIfNeeded(msg))
+	if entry.Fields != "" {
+		sb.WriteByte(' ')
+		sb.WriteString(entry.Fields)
+	}
+	if l.trace != "" {
+		sb.WriteString(" trace=")
+		sb.WriteString(l.trace)
+	}
+	sb.WriteByte('\n')
+
+	sink.mu.Lock()
+	sink.buf[sink.next] = entry
+	sink.next = (sink.next + 1) % logRingSize
+	sink.total++
+	out := sink.out
+	if out != nil {
+		// Write while holding the lock so concurrent entries never
+		// interleave mid-line; log volume makes contention irrelevant.
+		_, _ = io.WriteString(out, sb.String())
+	}
+	sink.mu.Unlock()
+}
+
+// renderFields formats alternating key/value pairs as `k=v k2=v2`.
+func renderFields(kv []interface{}) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		if i+1 >= len(kv) {
+			sb.WriteString("!badkey=")
+			sb.WriteString(quoteIfNeeded(fmt.Sprint(kv[i])))
+			break
+		}
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		sb.WriteString(key)
+		sb.WriteByte('=')
+		sb.WriteString(quoteIfNeeded(fmt.Sprint(kv[i+1])))
+	}
+	return sb.String()
+}
+
+// quoteIfNeeded wraps values containing whitespace, quotes, or '=' in Go
+// quoting so lines stay one-token-per-field parseable.
+func quoteIfNeeded(v string) string {
+	if v == "" {
+		return `""`
+	}
+	if strings.ContainsAny(v, " \t\n\"=") {
+		return fmt.Sprintf("%q", v)
+	}
+	return v
+}

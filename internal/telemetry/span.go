@@ -8,13 +8,18 @@ import (
 // spanRingSize bounds the retained completed spans.
 const spanRingSize = 256
 
-// SpanRecord is one completed traced region.
+// SpanRecord is one completed traced region. The trace fields are empty
+// for plain (untraced) spans and hex-rendered ids for spans opened via
+// StartTrace/StartSpanIn.
 type SpanRecord struct {
 	Name  string    `json:"name"`
 	Start time.Time `json:"start"`
 	// DurationNs is the span's wall-clock length in nanoseconds.
 	DurationNs int64             `json:"durationNs"`
 	Labels     map[string]string `json:"labels,omitempty"`
+	TraceID    string            `json:"traceId,omitempty"`
+	SpanID     string            `json:"spanId,omitempty"`
+	ParentID   string            `json:"parentId,omitempty"`
 }
 
 // spanRing retains the most recent spanRingSize completed spans. Spans end
@@ -52,11 +57,15 @@ func (sr *spanRing) recent() []SpanRecord {
 }
 
 // Span is an in-progress traced region; End completes it into the
-// registry's ring buffer.
+// registry's ring buffer and, when the span belongs to a trace, into the
+// registry's trace store as well.
 type Span struct {
-	ring  *spanRing
-	name  string
-	start time.Time
+	ring   *spanRing
+	store  *traceStore
+	name   string
+	start  time.Time
+	tc     TraceContext // own context: trace id + this span's id
+	parent SpanID
 }
 
 // StartSpan opens a span. The returned value is cheap to discard — a span
@@ -64,6 +73,10 @@ type Span struct {
 func (r *Registry) StartSpan(name string) Span {
 	return Span{ring: &r.spans, name: name, start: time.Now()}
 }
+
+// Context returns the span's trace context, for threading into children
+// or propagating over the wire. Zero (invalid) for untraced spans.
+func (s Span) Context() TraceContext { return s.tc }
 
 // End completes the span with optional labels and returns its duration.
 func (s Span) End(labels ...Label) time.Duration {
@@ -78,7 +91,18 @@ func (s Span) End(labels ...Label) time.Duration {
 			lm[l.Key] = l.Value
 		}
 	}
-	s.ring.record(SpanRecord{Name: s.name, Start: s.start, DurationNs: int64(d), Labels: lm})
+	rec := SpanRecord{Name: s.name, Start: s.start, DurationNs: int64(d), Labels: lm}
+	if s.tc.Valid() {
+		rec.TraceID = s.tc.TraceID.String()
+		rec.SpanID = s.tc.Span.String()
+		if !s.parent.IsZero() {
+			rec.ParentID = s.parent.String()
+		}
+	}
+	s.ring.record(rec)
+	if s.tc.Valid() && s.store != nil {
+		s.store.record(s.tc, rec)
+	}
 	return d
 }
 

@@ -102,13 +102,14 @@ type family struct {
 	series map[string]*series
 }
 
-// Registry owns metric families and the span ring. All methods are safe
-// for concurrent use; handle resolution takes a lock, but the returned
-// handles mutate lock-free.
+// Registry owns metric families, the span ring, and the trace store. All
+// methods are safe for concurrent use; handle resolution takes a lock,
+// but the returned handles mutate lock-free.
 type Registry struct {
 	mu       sync.RWMutex
 	families map[string]*family
 	spans    spanRing
+	traces   traceStore
 }
 
 // NewRegistry creates an empty registry. Most code uses the process-wide

@@ -8,8 +8,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 
+	"github.com/smartcrowd/smartcrowd/internal/telemetry"
 	"github.com/smartcrowd/smartcrowd/internal/types"
 )
 
@@ -93,10 +95,27 @@ func (p *Pool) Add(tx *types.Transaction, st StateReader) error {
 // relay exactly the admitted subset; order of admission matches slice
 // order, so the batch behaves like sequential Add calls.
 func (p *Pool) AddAll(txs []*types.Transaction, st StateReader) []error {
+	return p.AddAllTraced(txs, st, telemetry.TraceContext{})
+}
+
+// AddAllTraced is AddAll under a trace context: the whole batch is
+// covered by one admission span (spans are batch-granular, never
+// per-transaction) parented into tc when valid.
+func (p *Pool) AddAllTraced(txs []*types.Transaction, st StateReader, tc telemetry.TraceContext) []error {
 	errs := make([]error, len(txs))
 	if len(txs) == 0 {
 		return errs
 	}
+	span := telemetry.StartSpanIn(tc, "txpool.AddAll")
+	defer func() {
+		admitted := 0
+		for _, err := range errs {
+			if err == nil {
+				admitted++
+			}
+		}
+		span.End(telemetry.L("txs", strconv.Itoa(len(txs))), telemetry.L("admitted", strconv.Itoa(admitted)))
+	}()
 	types.RecoverSenders(txs)
 	hashes := make([]types.Hash, len(txs))
 	for i, tx := range txs {

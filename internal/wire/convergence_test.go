@@ -9,6 +9,7 @@ import (
 	"github.com/smartcrowd/smartcrowd/internal/detection"
 	"github.com/smartcrowd/smartcrowd/internal/node"
 	"github.com/smartcrowd/smartcrowd/internal/p2p"
+	"github.com/smartcrowd/smartcrowd/internal/telemetry"
 	"github.com/smartcrowd/smartcrowd/internal/types"
 	"github.com/smartcrowd/smartcrowd/internal/wallet"
 )
@@ -99,16 +100,64 @@ func TestThreeNodeConvergence(t *testing.T) {
 			hasPeer(n3.tr, "n1") && hasPeer(n3.tr, "n2")
 	}, "full mesh")
 
-	// Phase 1: n1 mines, everyone follows.
+	// Phase 1: n1 mines, everyone follows. The pre-mining snapshot lets
+	// the trace assertions below measure exactly this phase's wire
+	// propagation samples.
+	pre := telemetry.TakeSnapshot()
 	ts := uint64(1_000)
 	const difficulty = 1_000
+	var lastBlk *types.Block
 	for i := 0; i < 3; i++ {
 		ts++
-		if _, err := n1.prov.MineBlock(ts, difficulty, 0, 0); err != nil {
+		blk, err := n1.prov.MineBlock(ts, difficulty, 0, 0)
+		if err != nil {
 			t.Fatalf("mine block %d: %v", i+1, err)
 		}
+		lastBlk = blk
 	}
 	pumpUntilConverged(t, all, 3, 10*time.Second)
+
+	// Tracing over the wire: the block's seal trace, minted on n1, must be
+	// the trace every peer filed its import under — the context rode the
+	// gossip frames, not process-local state.
+	sealTC, ok := n1.prov.TraceOf(lastBlk.ID())
+	if !ok || !sealTC.Valid() {
+		t.Fatal("miner did not retain a trace context for its own block")
+	}
+	for _, n := range []*wireNode{n2, n3} {
+		got, ok := n.prov.TraceOf(lastBlk.ID())
+		if !ok {
+			t.Fatalf("node %s has no trace for the gossiped block", n.prov.ID())
+		}
+		if got.TraceID != sealTC.TraceID {
+			t.Fatalf("node %s filed block under trace %s, want %s", n.prov.ID(), got.TraceID, sealTC.TraceID)
+		}
+	}
+	// All three nodes share this process's trace store, so the one record
+	// should hold the miner's seal span plus an import span per follower.
+	rec, ok := telemetry.GetTrace(sealTC.TraceID)
+	if !ok {
+		t.Fatalf("trace %s not in the store", sealTC.TraceID)
+	}
+	importedOn := map[string]bool{}
+	for _, sp := range rec.Spans {
+		if sp.Name == "block.import" {
+			importedOn[sp.Labels["node"]] = true
+		}
+	}
+	for _, id := range []string{"n2", "n3"} {
+		if !importedOn[id] {
+			t.Fatalf("trace %s has no block.import span for node %s (spans: %+v)", sealTC.TraceID, id, rec.Spans)
+		}
+	}
+	// And the traced frames produced latency samples on both legs.
+	delta := telemetry.TakeSnapshot().Delta(pre)
+	if hops := delta[`smartcrowd_wire_propagation_ms_count{leg="hop"}`]; hops < 1 {
+		t.Fatalf("no per-hop propagation samples recorded (delta %v)", delta)
+	}
+	if e2e := delta[`smartcrowd_wire_propagation_ms_count{leg="e2e"}`]; e2e < 1 {
+		t.Fatalf("no end-to-end propagation samples recorded (delta %v)", delta)
+	}
 
 	// Phase 2: partition — kill n3's transport, network keeps advancing.
 	n3.tr.Close()

@@ -27,13 +27,22 @@ import (
 	"io"
 
 	"github.com/smartcrowd/smartcrowd/internal/p2p"
+	"github.com/smartcrowd/smartcrowd/internal/telemetry"
 )
 
 // Wire protocol constants.
 const (
-	// ProtocolVersion is bumped on any incompatible framing or handshake
-	// change; the handshake and every frame header carry it.
+	// ProtocolVersion is the legacy framing every peer understands; the
+	// handshake and untraced frames carry it.
 	ProtocolVersion = 1
+
+	// TraceProtocolVersion marks a traced frame: the payload is prefixed
+	// with a fixed trace envelope (trace id, span id, origin and send
+	// timestamps). Traced frames are only sent to peers that advertised
+	// the capability via a kindCaps control frame after the handshake —
+	// version-1 peers never see a version-2 byte, so the upgrade needs no
+	// flag day.
+	TraceProtocolVersion = 2
 
 	// MaxFramePayload bounds a frame's payload. Blocks are the largest
 	// protocol objects; 8 MiB leaves generous headroom while keeping a
@@ -42,6 +51,11 @@ const (
 
 	// headerSize is magic + version + kind + length.
 	headerSize = 4 + 1 + 1 + 4
+
+	// traceEnvelopeSize is the fixed prefix of a version-2 payload:
+	// trace id [16] + parent span id [8] + origin unix-nanos [8] +
+	// sent unix-nanos [8].
+	traceEnvelopeSize = 16 + 8 + 8 + 8
 )
 
 // magic identifies SmartCrowd wire streams.
@@ -53,12 +67,25 @@ const (
 	kindHello p2p.MsgKind = 0x80 + iota
 	// kindPing keeps idle connections alive under read timeouts.
 	kindPing
+	// kindCaps advertises optional capabilities right after the
+	// handshake. It is always sent as a version-1 frame: peers that
+	// predate it count it as an unknown kind and drop it, which is
+	// exactly the desired negotiation — silence means "legacy".
+	kindCaps
 )
 
-// Frame is one wire unit: a message kind plus its payload.
+// capTrace is the capability bit (in the kindCaps payload's first byte)
+// meaning "send me version-2 traced frames".
+const capTrace = 0x01
+
+// Frame is one wire unit: a message kind plus its payload. Trace, when
+// valid, rides in a version-2 envelope ahead of the payload; SentNanos
+// is stamped by the writer so the receiver can compute one-hop latency.
 type Frame struct {
-	Kind    p2p.MsgKind
-	Payload []byte
+	Kind      p2p.MsgKind
+	Payload   []byte
+	Trace     telemetry.TraceContext
+	SentNanos int64
 }
 
 // Codec errors.
@@ -70,23 +97,48 @@ var (
 )
 
 // WriteFrame encodes f to w. Payloads above MaxFramePayload are refused
-// locally — the remote end would drop the connection anyway.
+// locally — the remote end would drop the connection anyway. A frame
+// without a valid trace context encodes byte-identically to the original
+// version-1 protocol; a traced frame gets the version-2 header byte and
+// a fixed envelope ahead of the payload.
 func WriteFrame(w io.Writer, f Frame) error {
 	if len(f.Payload) > MaxFramePayload {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(f.Payload))
 	}
-	hdr := make([]byte, headerSize, headerSize+len(f.Payload))
+	traced := f.Trace.Valid()
+	var hdr []byte
+	if traced {
+		hdr = make([]byte, headerSize, headerSize+traceEnvelopeSize+len(f.Payload))
+	} else {
+		hdr = make([]byte, headerSize, headerSize+len(f.Payload))
+	}
 	copy(hdr[:4], magic[:])
-	hdr[4] = ProtocolVersion
+	if traced {
+		hdr[4] = TraceProtocolVersion
+	} else {
+		hdr[4] = ProtocolVersion
+	}
 	hdr[5] = byte(f.Kind)
-	binary.BigEndian.PutUint32(hdr[6:], uint32(len(f.Payload)))
+	declared := len(f.Payload)
+	if traced {
+		declared += traceEnvelopeSize
+	}
+	binary.BigEndian.PutUint32(hdr[6:], uint32(declared))
+	if traced {
+		hdr = append(hdr, f.Trace.TraceID[:]...)
+		hdr = append(hdr, f.Trace.Span[:]...)
+		hdr = binary.BigEndian.AppendUint64(hdr, uint64(f.Trace.Start))
+		hdr = binary.BigEndian.AppendUint64(hdr, uint64(f.SentNanos))
+	}
 	_, err := w.Write(append(hdr, f.Payload...))
 	return err
 }
 
 // ReadFrame decodes one frame from r. It validates magic, version and the
 // declared length before reading the payload, so a hostile peer cannot
-// force a large allocation or park the reader on garbage.
+// force a large allocation or park the reader on garbage. Both protocol
+// versions are accepted: version 1 yields an untraced frame, version 2
+// strips the trace envelope into Frame.Trace/SentNanos.
 func ReadFrame(r io.Reader) (Frame, error) {
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -98,19 +150,51 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	if [4]byte(hdr[:4]) != magic {
 		return Frame{}, ErrBadMagic
 	}
-	if hdr[4] != ProtocolVersion {
-		return Frame{}, fmt.Errorf("%w: remote %d, local %d", ErrBadVersion, hdr[4], ProtocolVersion)
+	version := hdr[4]
+	if version != ProtocolVersion && version != TraceProtocolVersion {
+		return Frame{}, fmt.Errorf("%w: remote %d, local %d", ErrBadVersion, version, TraceProtocolVersion)
 	}
 	length := binary.BigEndian.Uint32(hdr[6:])
-	if length > MaxFramePayload {
+	maxLen := uint32(MaxFramePayload)
+	if version == TraceProtocolVersion {
+		maxLen += traceEnvelopeSize
+	}
+	if length > maxLen {
 		return Frame{}, fmt.Errorf("%w: declared %d bytes", ErrFrameTooLarge, length)
 	}
 	f := Frame{Kind: p2p.MsgKind(hdr[5])}
+	body := []byte(nil)
 	if length > 0 {
-		f.Payload = make([]byte, length)
-		if _, err := io.ReadFull(r, f.Payload); err != nil {
+		body = make([]byte, length)
+		if _, err := io.ReadFull(r, body); err != nil {
 			return Frame{}, fmt.Errorf("%w: payload short of declared %d bytes", ErrTruncated, length)
 		}
 	}
+	if version == ProtocolVersion {
+		f.Payload = body
+		return f, nil
+	}
+	if len(body) < traceEnvelopeSize {
+		return Frame{}, fmt.Errorf("%w: traced frame shorter than its envelope", ErrTruncated)
+	}
+	copy(f.Trace.TraceID[:], body[:16])
+	copy(f.Trace.Span[:], body[16:24])
+	f.Trace.Start = int64(binary.BigEndian.Uint64(body[24:32]))
+	f.SentNanos = int64(binary.BigEndian.Uint64(body[32:40]))
+	if len(body) > traceEnvelopeSize {
+		f.Payload = body[traceEnvelopeSize:]
+	}
 	return f, nil
+}
+
+// encodeCaps builds the kindCaps payload: one capability bitmask byte.
+// Future capabilities extend the payload; decodeCaps ignores trailing
+// bytes it does not understand, so the frame can grow without another
+// negotiation mechanism.
+func encodeCaps() []byte { return []byte{capTrace} }
+
+// decodeCaps reports whether a kindCaps payload advertises trace
+// support. Empty or malformed payloads advertise nothing.
+func decodeCaps(payload []byte) (trace bool) {
+	return len(payload) >= 1 && payload[0]&capTrace != 0
 }

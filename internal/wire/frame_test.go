@@ -67,7 +67,7 @@ func TestReadFrameRejectsGarbageMagic(t *testing.T) {
 
 func TestReadFrameRejectsVersionMismatch(t *testing.T) {
 	raw := encodeValid(t, Frame{Kind: p2p.MsgTx, Payload: []byte("x")})
-	raw[4] = ProtocolVersion + 1
+	raw[4] = TraceProtocolVersion + 1 // above every version we speak
 	if _, err := ReadFrame(bytes.NewReader(raw)); !errors.Is(err, ErrBadVersion) {
 		t.Errorf("err = %v, want ErrBadVersion", err)
 	}

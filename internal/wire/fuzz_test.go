@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/smartcrowd/smartcrowd/internal/p2p"
+	"github.com/smartcrowd/smartcrowd/internal/telemetry"
 	"github.com/smartcrowd/smartcrowd/internal/types"
 )
 
@@ -23,13 +24,20 @@ func FuzzReadFrame(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(valid.Bytes())
-	f.Add([]byte("XXXX\x01\x01\x00\x00\x00\x00"))             // bad magic
-	f.Add([]byte("SCW1\x02\x01\x00\x00\x00\x00"))             // bad version
-	f.Add([]byte("SCW1\x01\x01\xff\xff\xff\xff"))             // declared length over bound
-	f.Add([]byte("SCW1\x01"))                                 // truncated header
-	f.Add([]byte("SCW1\x01\x01\x00\x00\x00\x09short"))        // truncated payload
-	f.Add([]byte("SCW1\x01\x81\x00\x00\x00\x00"))             // control frame, empty payload
-	f.Add([]byte("SCW1\x01\x01\x00\x7f\xff\xff" + "padding")) // large-but-legal declaration, truncated
+	var traced bytes.Buffer
+	tc := telemetry.TraceContext{TraceID: telemetry.NewTraceID(), Span: telemetry.NewSpanID(), Start: 12345}
+	if err := WriteFrame(&traced, Frame{Kind: p2p.MsgBlock, Payload: []byte("abc"), Trace: tc, SentNanos: 67890}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(traced.Bytes())
+	f.Add([]byte("XXXX\x01\x01\x00\x00\x00\x00"))               // bad magic
+	f.Add([]byte("SCW1\x03\x01\x00\x00\x00\x00"))               // bad version (above both we speak)
+	f.Add([]byte("SCW1\x01\x01\xff\xff\xff\xff"))               // declared length over bound
+	f.Add([]byte("SCW1\x01"))                                   // truncated header
+	f.Add([]byte("SCW1\x01\x01\x00\x00\x00\x09short"))          // truncated payload
+	f.Add([]byte("SCW1\x01\x81\x00\x00\x00\x00"))               // control frame, empty payload
+	f.Add([]byte("SCW1\x01\x01\x00\x7f\xff\xff" + "padding"))   // large-but-legal declaration, truncated
+	f.Add([]byte("SCW1\x02\x02\x00\x00\x00\x10short-envelope")) // traced frame shorter than its envelope
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := ReadFrame(bytes.NewReader(data))
@@ -50,6 +58,15 @@ func FuzzReadFrame(f *testing.F) {
 		}
 		if again.Kind != fr.Kind || !bytes.Equal(again.Payload, fr.Payload) {
 			t.Fatalf("round trip changed frame: %+v -> %+v", fr, again)
+		}
+		// A valid trace context survives the round trip exactly; an
+		// invalid one re-encodes as version 1, dropping SentNanos too.
+		if fr.Trace.Valid() {
+			if again.Trace != fr.Trace || again.SentNanos != fr.SentNanos {
+				t.Fatalf("round trip changed trace envelope: %+v -> %+v", fr, again)
+			}
+		} else if again.Trace.Valid() {
+			t.Fatalf("untraced frame grew a trace: %+v", again)
 		}
 	})
 }

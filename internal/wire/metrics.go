@@ -1,6 +1,10 @@
 package wire
 
-import "github.com/smartcrowd/smartcrowd/internal/telemetry"
+import (
+	"time"
+
+	"github.com/smartcrowd/smartcrowd/internal/telemetry"
+)
 
 var (
 	mDialAttempts  = telemetry.GetCounter("smartcrowd_wire_dials_total", telemetry.L("outcome", "attempt"))
@@ -19,6 +23,9 @@ var (
 	mUnknownFrames = telemetry.GetCounter("smartcrowd_wire_unknown_frames_total")
 	mPeers         = telemetry.GetGauge("smartcrowd_wire_peers")
 	mFanout        = telemetry.GetHistogram("smartcrowd_wire_broadcast_fanout")
+	mTracePeers    = telemetry.GetCounter("smartcrowd_wire_trace_peers_total")
+	mPropHop       = telemetry.GetHistogram("smartcrowd_wire_propagation_ms", telemetry.L("leg", "hop"))
+	mPropE2E       = telemetry.GetHistogram("smartcrowd_wire_propagation_ms", telemetry.L("leg", "e2e"))
 )
 
 // handshakeFailure resolves the classified failure counter. Failures are
@@ -41,4 +48,28 @@ func init() {
 	telemetry.SetHelp("smartcrowd_wire_unknown_frames_total", "frames with unrecognized kinds, dropped")
 	telemetry.SetHelp("smartcrowd_wire_peers", "currently connected peers")
 	telemetry.SetHelp("smartcrowd_wire_broadcast_fanout", "peers reached per Broadcast call")
+	telemetry.SetHelp("smartcrowd_wire_trace_peers_total", "peers that advertised the trace capability")
+	telemetry.SetHelp("smartcrowd_wire_propagation_ms",
+		"traced-frame latency in milliseconds: leg=hop is sender stamp to local receipt, leg=e2e is trace origin (seal start) to local receipt; cross-host values include clock skew, clamped at zero")
+}
+
+// observePropagation records the per-hop and end-to-end latency legs of
+// one received traced frame. Wall clocks on different hosts skew, so
+// negative deltas clamp to zero instead of poisoning the histogram.
+func observePropagation(f Frame) {
+	nowNs := time.Now().UnixNano()
+	if f.SentNanos > 0 {
+		mPropHop.Observe(clampMs(nowNs - f.SentNanos))
+	}
+	if f.Trace.Start > 0 {
+		mPropE2E.Observe(clampMs(nowNs - f.Trace.Start))
+	}
+}
+
+// clampMs converts a nanosecond delta to non-negative milliseconds.
+func clampMs(deltaNs int64) uint64 {
+	if deltaNs < 0 {
+		return 0
+	}
+	return uint64(deltaNs / int64(time.Millisecond))
 }

@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"github.com/smartcrowd/smartcrowd/internal/p2p"
+	"github.com/smartcrowd/smartcrowd/internal/telemetry"
+)
+
+// TestUntracedFrameBytesUnchanged pins the compatibility contract: a
+// frame without a trace context must encode to exactly the original
+// version-1 bytes, so legacy peers cannot tell this build from the one
+// that predates tracing.
+func TestUntracedFrameBytesUnchanged(t *testing.T) {
+	payload := []byte("block-bytes")
+	var got bytes.Buffer
+	if err := WriteFrame(&got, Frame{Kind: p2p.MsgBlock, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The version-1 encoding, constructed by hand from the documented
+	// layout rather than through the codec under test.
+	want := []byte{'S', 'C', 'W', '1', 1, byte(p2p.MsgBlock), 0, 0, 0, byte(len(payload))}
+	want = append(want, payload...)
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("untraced frame bytes drifted:\n got %x\nwant %x", got.Bytes(), want)
+	}
+}
+
+func TestTracedFrameRoundTrip(t *testing.T) {
+	tc := telemetry.TraceContext{
+		TraceID: telemetry.NewTraceID(),
+		Span:    telemetry.NewSpanID(),
+		Start:   1_700_000_000_000_000_001,
+	}
+	in := Frame{Kind: p2p.MsgBlock, Payload: []byte("b"), Trace: tc, SentNanos: 1_700_000_000_000_000_999}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if v := buf.Bytes()[4]; v != TraceProtocolVersion {
+		t.Fatalf("traced frame carries version %d, want %d", v, TraceProtocolVersion)
+	}
+	if length := binary.BigEndian.Uint32(buf.Bytes()[6:]); length != uint32(traceEnvelopeSize+len(in.Payload)) {
+		t.Fatalf("declared length %d, want envelope %d + payload %d", length, traceEnvelopeSize, len(in.Payload))
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != in.Kind || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("payload changed: %+v", out)
+	}
+	if out.Trace != tc || out.SentNanos != in.SentNanos {
+		t.Fatalf("envelope changed: got %+v / %d, want %+v / %d", out.Trace, out.SentNanos, tc, in.SentNanos)
+	}
+}
+
+func TestTracedFrameEmptyPayload(t *testing.T) {
+	tc := telemetry.TraceContext{TraceID: telemetry.NewTraceID(), Span: telemetry.NewSpanID(), Start: 1}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Kind: p2p.MsgBlockRequest, Trace: tc}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Payload) != 0 || out.Trace != tc {
+		t.Fatalf("empty-payload traced frame decoded to %+v", out)
+	}
+}
+
+func TestTracedFrameTruncatedEnvelopeRejected(t *testing.T) {
+	raw := []byte{'S', 'C', 'W', '1', TraceProtocolVersion, byte(p2p.MsgBlock), 0, 0, 0, 8}
+	raw = append(raw, make([]byte, 8)...) // half an envelope
+	if _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
+		t.Fatal("traced frame shorter than its envelope was accepted")
+	}
+}
+
+func TestCapsCodec(t *testing.T) {
+	if !decodeCaps(encodeCaps()) {
+		t.Fatal("our own caps payload does not advertise tracing")
+	}
+	if decodeCaps(nil) || decodeCaps([]byte{}) {
+		t.Fatal("empty caps payload advertised tracing")
+	}
+	if decodeCaps([]byte{0x00}) {
+		t.Fatal("zero bitmask advertised tracing")
+	}
+	// Unknown future bits and trailing bytes are tolerated.
+	if !decodeCaps([]byte{capTrace | 0x80, 0xff, 0xff}) {
+		t.Fatal("future caps payload rejected")
+	}
+}

@@ -6,9 +6,11 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/smartcrowd/smartcrowd/internal/p2p"
+	"github.com/smartcrowd/smartcrowd/internal/telemetry"
 	"github.com/smartcrowd/smartcrowd/internal/types"
 )
 
@@ -80,6 +82,10 @@ type peer struct {
 	done   chan struct{}
 	dialed bool // we initiated the connection
 	once   sync.Once
+	// traceCapable flips when the peer's kindCaps frame advertises the
+	// trace capability; until then (and forever, for legacy peers) every
+	// outbound frame is stripped to the byte-identical version-1 form.
+	traceCapable atomic.Bool
 }
 
 // Transport is a TCP implementation of p2p.Transport. All methods are
@@ -191,7 +197,7 @@ func (t *Transport) Send(_, to p2p.NodeID, msg p2p.Message) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownPeer, to)
 	}
-	t.enqueue(p, Frame{Kind: msg.Kind, Payload: msg.Payload})
+	t.enqueue(p, Frame{Kind: msg.Kind, Payload: msg.Payload, Trace: msg.Trace})
 	return nil
 }
 
@@ -205,7 +211,7 @@ func (t *Transport) Broadcast(_ p2p.NodeID, msg p2p.Message) {
 	t.mu.Unlock()
 	mFanout.Observe(uint64(len(peers)))
 	for _, p := range peers {
-		t.enqueue(p, Frame{Kind: msg.Kind, Payload: msg.Payload})
+		t.enqueue(p, Frame{Kind: msg.Kind, Payload: msg.Payload, Trace: msg.Trace})
 	}
 }
 
@@ -375,6 +381,13 @@ func (t *Transport) setupConn(conn net.Conn, dialed bool) (*peer, bool) {
 	go func() { defer t.wg.Done(); t.readLoop(p) }()
 	go func() { defer t.wg.Done(); t.writeLoop(p) }()
 
+	// Capability advertisement: a version-1 control frame listing the
+	// optional protocol features we speak. Legacy peers count it as an
+	// unknown kind and drop it; peers that understand it start sending us
+	// traced (version-2) frames. First in the queue so it precedes any
+	// protocol traffic.
+	t.enqueue(p, Frame{Kind: kindCaps, Payload: encodeCaps()})
+
 	// Sync kick: if the peer's canonical head is ahead of ours, ask for
 	// it immediately. The reply flows through the node's normal orphan
 	// backfill, pulling the missing ancestry without waiting for gossip.
@@ -420,8 +433,16 @@ func (t *Transport) readLoop(p *peer) {
 		switch f.Kind {
 		case kindPing, kindHello:
 			continue
+		case kindCaps:
+			if decodeCaps(f.Payload) && !p.traceCapable.Swap(true) {
+				mTracePeers.Inc()
+			}
+			continue
 		case p2p.MsgTx, p2p.MsgBlock, p2p.MsgBlockRequest:
-			t.deliver(p2p.Message{From: p.id, Kind: f.Kind, Payload: f.Payload})
+			if f.Trace.Valid() {
+				observePropagation(f)
+			}
+			t.deliver(p2p.Message{From: p.id, Kind: f.Kind, Payload: f.Payload, Trace: f.Trace})
 		default:
 			mUnknownFrames.Inc()
 		}
@@ -446,6 +467,20 @@ func (t *Transport) writeLoop(p *peer) {
 		}
 		if err := p.conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout)); err != nil {
 			return
+		}
+		if f.Trace.Valid() {
+			if p.traceCapable.Load() {
+				// Stamp the send time last, so the receiver's one-hop
+				// measurement excludes our queueing delay as little as
+				// possible (it still includes the socket write).
+				f.SentNanos = time.Now().UnixNano()
+			} else {
+				// The peer never advertised trace support: strip the
+				// context so the bytes on the wire are exactly the
+				// version-1 encoding it expects.
+				f.Trace = telemetry.TraceContext{}
+				f.SentNanos = 0
+			}
 		}
 		if err := WriteFrame(p.conn, f); err != nil {
 			return
