@@ -19,6 +19,7 @@ import (
 	"github.com/smartcrowd/smartcrowd/internal/p2p"
 	"github.com/smartcrowd/smartcrowd/internal/pow"
 	"github.com/smartcrowd/smartcrowd/internal/rpc"
+	"github.com/smartcrowd/smartcrowd/internal/store"
 	"github.com/smartcrowd/smartcrowd/internal/types"
 	"github.com/smartcrowd/smartcrowd/internal/wallet"
 	"github.com/smartcrowd/smartcrowd/internal/wire"
@@ -45,6 +46,9 @@ func cmdNode(args []string) int {
 		"worker count for optimistic parallel block execution (1 = serial, for debugging)")
 	rpcTimeout := fs.Duration("rpc-timeout", 0,
 		"read/write deadline per RPC request (0 = 30s defaults); header and idle deadlines are always set")
+	datadir := fs.String("datadir", "", "persist the chain under this directory (empty = in-memory only)")
+	snapInterval := fs.Uint64("snapshot-interval", 512,
+		"blocks between durable state snapshots (only with -datadir)")
 	_ = fs.Parse(args)
 
 	fail := func(err error) int {
@@ -63,9 +67,33 @@ func cmdNode(args []string) int {
 	sc := contract.New(contract.DefaultParams(), detection.NewGroundTruthVerifier(false))
 	cfg := chain.DefaultConfig(sc)
 	cfg.ExecParallelism = *parallelism
+	if *datadir != "" {
+		disk, err := store.Open(*datadir)
+		if err != nil {
+			return fail(err)
+		}
+		cfg.Storage = disk
+		cfg.SnapshotInterval = *snapInterval
+	}
 	prov, err := node.NewProvider(nodeID, wallet.NewDeterministic(string(nodeID)), cfg, nil)
 	if err != nil {
 		return fail(err)
+	}
+	// Flush the final state snapshot and release the store on every exit
+	// path, so the next start restores from the snapshot instead of
+	// replaying the whole log.
+	defer func() {
+		if err := prov.Chain().Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "smartcrowd: node: close: %v\n", err)
+		}
+	}()
+	if *datadir != "" {
+		st := prov.Chain().StorageStats()
+		fmt.Printf("node %s: chain storage in %s (%d blocks", nodeID, st.Dir, st.Blocks)
+		if st.Recovered {
+			fmt.Printf(", recovered after crash")
+		}
+		fmt.Printf("), head %d\n", prov.Chain().HeadNumber())
 	}
 
 	transport, err := wire.New(wire.Config{

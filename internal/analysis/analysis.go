@@ -40,6 +40,7 @@ func Passes() []*Pass {
 		passMetricname,
 		passBoundalloc,
 		passLogdisc,
+		passFsyncdisc,
 	}
 }
 

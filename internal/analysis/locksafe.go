@@ -23,8 +23,9 @@ var lockedPkgs = []string{
 // ReadView redesign is that no handler ever does that — one slow import
 // must not be able to stall a million polling consumers (or vice versa).
 var rpcChainAllowed = map[string]bool{
-	"CurrentView": true, // one atomic pointer load
-	"Config":      true, // immutable after New
+	"CurrentView":  true, // one atomic pointer load
+	"Config":       true, // immutable after New
+	"StorageStats": true, // c.store immutable after New; Disk.Stats has its own mutex
 }
 
 // passLocksafe flags expensive or non-deterministic work lexically

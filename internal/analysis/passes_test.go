@@ -41,6 +41,10 @@ func TestLogdiscFixture(t *testing.T) {
 	runFixture(t, "logdisc", modPrefix+"internal/node")
 }
 
+func TestFsyncdiscFixture(t *testing.T) {
+	runFixture(t, "fsyncdisc", modPrefix+"internal/store")
+}
+
 // TestLogdiscAllowlisted proves a logdisc finding is suppressible via
 // the committed .scvet.allow mechanism like any other pass.
 func TestLogdiscAllowlisted(t *testing.T) {
@@ -76,6 +80,7 @@ func TestPassesScopedToTheirPackages(t *testing.T) {
 		{"boundalloc", "boundalloc", modPrefix + "internal/chain"},
 		{"logdisc", "logdisc", modPrefix + "cmd/smartcrowd"},
 		{"logdisc", "logdisc", modPrefix + "internal/telemetry"},
+		{"fsyncdisc", "fsyncdisc", modPrefix + "internal/chain"},
 	} {
 		pkg := loadFixture(t, tc.fixture, tc.asPath)
 		if got := PassByName(tc.pass).Run(pkg); len(got) != 0 {

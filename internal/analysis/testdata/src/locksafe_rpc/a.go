@@ -45,3 +45,9 @@ func (s *server) goodViewReads() uint64 {
 	_, _ = v.BlockByNumber(1)
 	return v.HeadNumber()
 }
+
+// goodStorageStats reads backend counters: the store pointer is
+// immutable after New and the disk stats carry their own mutex.
+func (s *server) goodStorageStats() string {
+	return s.c.StorageStats().Backend
+}

@@ -175,6 +175,7 @@ func All() []Experiment {
 		{ID: "abl-dct", Title: "Analysis: total detection capability vs crowd size", Run: AnalysisDCT},
 		{ID: "chaincore", Title: "Chain-core hot paths: insert throughput, state root, detection query", Run: ChainCore},
 		{ID: "syncpipeline", Title: "Sync pipeline: batched InsertChain vs serial re-verification", Run: SyncPipeline},
+		{ID: "snapsync", Title: "Snap-sync: snapshot adoption vs full replay for a cold joiner", Run: SnapSync},
 		{ID: "execpar", Title: "Execution parallelism: optimistic parallel stage 2 vs serial oracle", Run: ExecPar},
 		{ID: "rpcload", Title: "RPC read path: lock-free view + response cache vs mutex oracle", Run: RPCLoad},
 		{ID: "tracecost", Title: "Trace cost: span lifecycle and wire envelope vs untraced baselines", Run: TraceCost},

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/smartcrowd/smartcrowd/internal/chain"
+)
+
+// SnapSync measures a cold node joining an existing network: full replay
+// (decode plus InsertChain re-execution of the entire chain) versus
+// snap-sync (adopt a state snapshot verified against the commitment-trie
+// root, shape-verify the block prefix without executing it, then replay
+// only the tail past the snapshot). Both joiners start from the same
+// wire encodings with cold caches, exactly what arrives from a peer.
+//
+// The trust story is part of the measurement: before timing anything,
+// the experiment corrupts a copy of the snapshot blob and requires
+// adoption to reject it — the speedup below is only meaningful because
+// the fast path still verifies the restored state against the root the
+// block headers commit to.
+//
+// The equivalence checks (same head, same state root, same difficulty as
+// the replay oracle) hold anywhere. The speedup gate follows the
+// syncpipeline/execpar convention: enforced only with 4+ cores, at ≥5x
+// on the paper-scale Full run (a ≥50k-block chain) and ≥2x at Quick,
+// where fixed costs weigh more.
+func SnapSync(scale Scale) (*Report, error) {
+	blocks, txPerBlock, tail := 400, 3, 16
+	minSpeedup := 2.0
+	if scale == Full {
+		blocks, txPerBlock, tail = 50_000, 2, 64
+		minSpeedup = 5.0
+	}
+	cores := runtime.NumCPU()
+
+	r := &Report{
+		ID:      "snapsync",
+		Title:   "Snap-sync: snapshot adoption vs full replay for a cold joiner",
+		Headers: []string{"Path", "Result"},
+		Metrics: make(map[string]float64),
+		ShapeOK: true,
+	}
+
+	cfg, wire, err := buildSyncSource(blocks, txPerBlock)
+	if err != nil {
+		return nil, err
+	}
+
+	// The serving peer: a node that grew the chain and snapshots its
+	// state at the snap point (tail blocks below its head, as a live
+	// server's snapshot naturally trails its head).
+	snapHeight := blocks - tail
+	server, err := chain.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	serverBlocks, err := decodeAll(wire)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := server.InsertChain(serverBlocks[:snapHeight]); err != nil {
+		return nil, fmt.Errorf("snapsync: grow server to snap point: %w", err)
+	}
+	snap, err := server.SnapshotNow()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := server.InsertChain(serverBlocks[snapHeight:]); err != nil {
+		return nil, fmt.Errorf("snapsync: grow server past snap point: %w", err)
+	}
+
+	// Hostile-snapshot rejection: one flipped byte in the blob must not
+	// survive the commitment-root check (or the decoder before it).
+	tampered := append([]byte(nil), snap.State...)
+	tampered[len(tampered)/2] ^= 0x40
+	guinea, err := chain.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	prefixForTamper, err := decodeAll(wire[:snapHeight])
+	if err != nil {
+		return nil, err
+	}
+	tamperErr := guinea.AdoptSnapshot(prefixForTamper, tampered)
+	r.check(tamperErr != nil, "tampered snapshot blob rejected before adoption (%v)", tamperErr)
+
+	// Replay joiner: decode everything, re-execute everything.
+	replayChain, err := chain.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	replayBlocks, err := decodeAll(wire)
+	if err != nil {
+		return nil, err
+	}
+	if n, err := replayChain.InsertChain(replayBlocks); err != nil {
+		return nil, fmt.Errorf("snapsync: replay insert at block %d: %w", n, err)
+	}
+	replayNS := float64(time.Since(start).Nanoseconds())
+
+	// Snap joiner: decode everything, adopt the verified snapshot for the
+	// prefix, execute only the tail.
+	snapChain, err := chain.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	snapBlocks, err := decodeAll(wire)
+	if err != nil {
+		return nil, err
+	}
+	if err := snapChain.AdoptSnapshot(snapBlocks[:snapHeight], snap.State); err != nil {
+		return nil, fmt.Errorf("snapsync: adopt: %w", err)
+	}
+	if n, err := snapChain.InsertChain(snapBlocks[snapHeight:]); err != nil {
+		return nil, fmt.Errorf("snapsync: tail insert at block %d: %w", n, err)
+	}
+	snapNS := float64(time.Since(start).Nanoseconds())
+
+	speedup := replayNS / snapNS
+	r.Metrics["blocks"] = float64(blocks)
+	r.Metrics["txs_per_block"] = float64(txPerBlock)
+	r.Metrics["tail_blocks"] = float64(tail)
+	r.Metrics["cores"] = float64(cores)
+	r.Metrics["replay_ms"] = replayNS / 1e6
+	r.Metrics["snap_ms"] = snapNS / 1e6
+	r.Metrics["speedup"] = speedup
+	r.Metrics["snapshot_bytes"] = float64(len(snap.State))
+
+	r.Rows = [][]string{
+		{"full replay", fmt.Sprintf("%.2f s (%.1f blocks/sec)", replayNS/1e9, float64(blocks)/(replayNS/1e9))},
+		{"snap-sync", fmt.Sprintf("%.2f s (snapshot %d KiB + %d-block tail)", snapNS/1e9, len(snap.State)/1024, tail)},
+		{"speedup", fmt.Sprintf("%.2fx on %d cores", speedup, cores)},
+	}
+
+	// Equivalence: both joiners land on the server's exact head and state.
+	r.check(replayChain.Head().ID() == server.Head().ID(), "replay joiner reaches the server head")
+	r.check(snapChain.Head().ID() == server.Head().ID(), "snap joiner reaches the server head")
+	r.check(snapChain.TotalDifficulty() == replayChain.TotalDifficulty(), "total difficulty matches the replay oracle")
+	snapRoot := snapChain.State().Root()
+	r.check(snapRoot == replayChain.State().Root(), "snap joiner's state root matches the replay oracle")
+	r.check(snapRoot == server.Head().Header.StateRoot, "state root matches the header commitment")
+
+	if cores >= 4 {
+		r.check(speedup >= minSpeedup, "snap-sync ≥%.0fx faster than replay (%.2fx on %d cores)", minSpeedup, speedup, cores)
+	} else {
+		r.note("[SKIP] ≥%.0fx speedup check needs ≥4 cores, have %d (measured %.2fx)", minSpeedup, cores, speedup)
+	}
+	return r, nil
+}

@@ -51,6 +51,17 @@ type Config struct {
 	ExecParallelism int
 	// Alloc pre-funds accounts in the genesis state.
 	Alloc map[types.Address]types.Amount
+	// Storage, when non-nil, makes the chain durable: previously committed
+	// blocks are replayed on New (restoring from the newest valid state
+	// snapshot when one passes verification), and every subsequent import
+	// is appended to the backend before the in-memory commit (storage.go).
+	// nil — the default for tests and the simulator — keeps the chain
+	// purely in memory.
+	Storage Storage
+	// SnapshotInterval writes a durable state snapshot every N canonical
+	// blocks (0 disables periodic snapshots; Close always flushes a final
+	// one). Only meaningful with Storage set.
+	SnapshotInterval uint64
 }
 
 // ExpectedDifficulty returns the difficulty a child of parent sealed at
@@ -143,6 +154,14 @@ type Chain struct {
 	// publishView at the end of every head switch; read via CurrentView
 	// with no lock.
 	view atomic.Pointer[ReadView]
+	// store is the durable backend (nil = memory only); persist gates
+	// write-through so replay-from-storage does not re-append what the
+	// backend just returned. closed refuses imports after Close. snapWG
+	// tracks in-flight background snapshot writes (storage.go).
+	store   Storage
+	persist bool
+	closed  bool
+	snapWG  sync.WaitGroup
 }
 
 // New creates a chain with a genesis block derived from the config's
@@ -171,8 +190,14 @@ func New(cfg Config) (*Chain, error) {
 		entries: map[types.Hash]*entry{genesis.ID(): g},
 		head:    g,
 		canon:   []*entry{g},
+		store:   cfg.Storage,
 	}
 	c.publishView()
+	if c.store != nil {
+		if err := c.initFromStorage(); err != nil {
+			return nil, err
+		}
+	}
 	return c, nil
 }
 
@@ -478,6 +503,9 @@ func (c *Chain) verifyHeaderLink(parent, child *types.Header) error {
 // write lock. tc is the block's trace context, threaded into setHead's
 // event publication; a zero context is fine.
 func (c *Chain) insertVerifiedLocked(blk *types.Block, tc telemetry.TraceContext) (bool, error) {
+	if c.closed {
+		return false, ErrClosed
+	}
 	id := blk.ID()
 	if _, known := c.entries[id]; known {
 		return false, fmt.Errorf("%w: %s", ErrKnownBlock, id.Short())
@@ -511,11 +539,30 @@ func (c *Chain) insertVerifiedLocked(blk *types.Block, tc telemetry.TraceContext
 		post:     st,
 		receipts: receipts,
 	}
+	switched := e.totalDif > c.head.totalDif
+
+	// Durable write-ahead commit: the block and the fork-choice head that
+	// will hold after this import reach disk before any in-memory
+	// structure changes. A storage failure rejects the import outright —
+	// memory never runs ahead of what a restart can recover.
+	if c.store != nil && c.persist {
+		headE := c.head
+		if switched {
+			headE = e
+		}
+		t0 := now()
+		err := c.store.AppendBlocks([]*types.Block{blk}, headE.block.ID(), headE.block.Header.Number)
+		mStoreAppendNs.ObserveDuration(since(t0))
+		if err != nil {
+			return false, fmt.Errorf("chain: durable append: %w", err)
+		}
+	}
 	c.entries[id] = e
 
-	if e.totalDif > c.head.totalDif {
+	if switched {
 		c.setHead(e, tc)
 		c.pruneStatesLocked()
+		c.maybeSnapshotLocked(e)
 		return true, nil
 	}
 	return false, nil
@@ -768,6 +815,17 @@ func (c *Chain) SRAList(offset, limit int) []SRARef {
 		end = len(c.sraIndex)
 	}
 	return append([]SRARef(nil), c.sraIndex[offset:end]...)
+}
+
+// SRAAt returns the i-th canonical SRA announcement, if it exists — the
+// locked-oracle counterpart of ReadView.SRAAt.
+func (c *Chain) SRAAt(i int) (SRARef, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if i < 0 || i >= len(c.sraIndex) {
+		return SRARef{}, false
+	}
+	return c.sraIndex[i], true
 }
 
 // DetectionRecord pairs a report transaction with its canonical receipt —

@@ -145,6 +145,16 @@ func (v *ReadView) TxLocation(txHash types.Hash) (blockID types.Hash, number uin
 // SRACount returns how many SRA announcements this view's chain holds.
 func (v *ReadView) SRACount() int { return len(v.sraIndex) }
 
+// SRAAt returns the i-th canonical SRA announcement, if it exists. The
+// cursor pagination layer uses it to verify (and if necessary re-anchor)
+// a resume position in O(1) instead of re-listing a page.
+func (v *ReadView) SRAAt(i int) (SRARef, bool) {
+	if i < 0 || i >= len(v.sraIndex) {
+		return SRARef{}, false
+	}
+	return v.sraIndex[i], true
+}
+
 // SRAList returns a page of canonical SRA announcements in chain order.
 // The page is a capped sub-slice of the immutable snapshot index — no
 // copy, and appends by the caller cannot reach the shared array.

@@ -54,6 +54,12 @@ type ProviderNode struct {
 	// original lifecycle trace instead of starting a fresh one.
 	blockTraces map[types.Hash]telemetry.TraceContext
 	traceOrder  []types.Hash
+
+	// sync is the snap/replay catch-up state machine (sync.go); it has
+	// its own lock so status reads never contend with block import.
+	sync *syncer
+	// snapServe caches the last snapshot served to joining peers.
+	snapServe snapServeCache
 }
 
 // NewProvider creates a provider node with its own chain instance and
@@ -77,6 +83,7 @@ func NewProvider(id p2p.NodeID, w *wallet.Wallet, cfg chain.Config, net p2p.Tran
 		seenBlocks:  make(map[types.Hash]bool),
 		orphans:     make(map[types.Hash]*types.Block),
 		blockTraces: make(map[types.Hash]telemetry.TraceContext),
+		sync:        &syncer{},
 	}, nil
 }
 
@@ -260,8 +267,10 @@ func (p *ProviderNode) HandleMessages() {
 			p.mu.Lock()
 			p.acceptBlock(blk, true, msg.Trace)
 			// If the block orphaned, backfill its ancestry from the peer
-			// that announced it.
-			if _, missing := p.orphans[blk.Header.ParentID]; missing && !p.chain.HasBlock(blk.Header.ParentID) {
+			// that announced it — unless a sync session is already pulling
+			// ordered ranges; crawling backwards alongside it would fetch
+			// the same history twice.
+			if _, missing := p.orphans[blk.Header.ParentID]; missing && !p.chain.HasBlock(blk.Header.ParentID) && !p.sync.active() {
 				parentID := blk.Header.ParentID
 				mBlockRequestsSent.Inc()
 				_ = p.net.Send(p.id, msg.From, p2p.Message{
@@ -289,9 +298,26 @@ func (p *ProviderNode) HandleMessages() {
 				Payload: types.EncodeBlock(blk),
 				Trace:   tc,
 			})
+		case p2p.MsgHeadAnnounce:
+			flushTxs()
+			p.handleHeadAnnounce(msg.From, msg.Payload)
+		case p2p.MsgSnapRequest:
+			p.handleSnapRequest(msg.From)
+		case p2p.MsgSnapManifest:
+			p.handleSnapManifest(msg.From, msg.Payload)
+		case p2p.MsgSnapChunkRequest:
+			p.handleSnapChunkRequest(msg.From, msg.Payload)
+		case p2p.MsgSnapChunk:
+			p.handleSnapChunk(msg.From, msg.Payload)
+		case p2p.MsgRangeRequest:
+			p.handleRangeRequest(msg.From, msg.Payload)
+		case p2p.MsgRangeBlocks:
+			flushTxs()
+			p.handleRangeBlocks(msg.From, msg.Payload)
 		}
 	}
 	flushTxs()
+	p.checkSyncStall()
 }
 
 // acceptTxs admits a batch of gossiped transactions through the pool's

@@ -9,7 +9,13 @@ var (
 	mFanoutPeers = telemetry.GetHistogram("smartcrowd_p2p_broadcast_fanout")
 	mInFlight    = telemetry.GetGauge("smartcrowd_p2p_in_flight")
 
-	mMalformedBlockReq = telemetry.GetCounter("smartcrowd_p2p_malformed_total", telemetry.L("kind", "block-request"))
+	mMalformedBlockReq    = telemetry.GetCounter("smartcrowd_p2p_malformed_total", telemetry.L("kind", "block-request"))
+	mMalformedManifest    = telemetry.GetCounter("smartcrowd_p2p_malformed_total", telemetry.L("kind", "snap-manifest"))
+	mMalformedChunkReq    = telemetry.GetCounter("smartcrowd_p2p_malformed_total", telemetry.L("kind", "snap-chunk-request"))
+	mMalformedChunk       = telemetry.GetCounter("smartcrowd_p2p_malformed_total", telemetry.L("kind", "snap-chunk"))
+	mMalformedRangeReq    = telemetry.GetCounter("smartcrowd_p2p_malformed_total", telemetry.L("kind", "range-request"))
+	mMalformedRangeBlocks = telemetry.GetCounter("smartcrowd_p2p_malformed_total", telemetry.L("kind", "range-blocks"))
+	mMalformedAnnounce    = telemetry.GetCounter("smartcrowd_p2p_malformed_total", telemetry.L("kind", "head-announce"))
 )
 
 func init() {

@@ -44,6 +44,9 @@ func (k MsgKind) String() string {
 	case MsgBlockRequest:
 		return "block-request"
 	default:
+		if name, ok := syncKindName(k); ok {
+			return name
+		}
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
 }

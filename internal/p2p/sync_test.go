@@ -1,0 +1,176 @@
+package p2p
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/smartcrowd/smartcrowd/internal/types"
+)
+
+func TestSnapManifestRoundTrip(t *testing.T) {
+	m := SnapManifest{
+		Height:     512,
+		BlockID:    types.Hash{1, 2, 3},
+		StateRoot:  types.Hash{4, 5, 6},
+		StateSize:  3<<20 + 17,
+		ChunkSize:  1 << 20,
+		HeadNumber: 530,
+		HeadID:     types.Hash{7, 8, 9},
+	}
+	got, err := ParseSnapManifest(EncodeSnapManifest(m))
+	if err != nil {
+		t.Fatalf("ParseSnapManifest: %v", err)
+	}
+	if got != m {
+		t.Fatalf("round trip mismatch: got %+v want %+v", got, m)
+	}
+	if got.Chunks() != 4 {
+		t.Fatalf("Chunks() = %d, want 4", got.Chunks())
+	}
+}
+
+func TestSnapManifestRejects(t *testing.T) {
+	base := EncodeSnapManifest(SnapManifest{Height: 1, StateSize: 100, ChunkSize: 10})
+	if _, err := ParseSnapManifest(base[:len(base)-1]); err == nil {
+		t.Error("short manifest accepted")
+	}
+	if _, err := ParseSnapManifest(append(base, 0)); err == nil {
+		t.Error("long manifest accepted")
+	}
+	huge := EncodeSnapManifest(SnapManifest{StateSize: MaxSnapStateSize + 1, ChunkSize: 1})
+	if _, err := ParseSnapManifest(huge); err == nil {
+		t.Error("oversized state size accepted")
+	}
+	zeroChunk := EncodeSnapManifest(SnapManifest{StateSize: 100})
+	if _, err := ParseSnapManifest(zeroChunk); err == nil {
+		t.Error("zero chunk size with nonzero state accepted")
+	}
+	// Empty state with zero chunk size is legal (a genesis-only server).
+	if _, err := ParseSnapManifest(EncodeSnapManifest(SnapManifest{})); err != nil {
+		t.Errorf("empty manifest rejected: %v", err)
+	}
+}
+
+func TestSnapChunkRoundTrip(t *testing.T) {
+	id := types.Hash{0xaa}
+	data := []byte("chunk payload bytes")
+	gotID, idx, gotData, err := ParseSnapChunk(EncodeSnapChunk(id, 7, data))
+	if err != nil {
+		t.Fatalf("ParseSnapChunk: %v", err)
+	}
+	if gotID != id || idx != 7 || !bytes.Equal(gotData, data) {
+		t.Fatalf("round trip mismatch: %v %d %q", gotID, idx, gotData)
+	}
+
+	reqID, reqIdx, err := ParseSnapChunkRequest(EncodeSnapChunkRequest(id, 9))
+	if err != nil {
+		t.Fatalf("ParseSnapChunkRequest: %v", err)
+	}
+	if reqID != id || reqIdx != 9 {
+		t.Fatalf("request round trip mismatch: %v %d", reqID, reqIdx)
+	}
+}
+
+func TestSnapChunkRejects(t *testing.T) {
+	if _, _, _, err := ParseSnapChunk(EncodeSnapChunk(types.Hash{}, 0, nil)); err == nil {
+		t.Error("empty chunk accepted")
+	}
+	if _, _, _, err := ParseSnapChunk(make([]byte, types.HashSize)); err == nil {
+		t.Error("truncated chunk accepted")
+	}
+	if _, _, err := ParseSnapChunkRequest(make([]byte, types.HashSize+3)); err == nil {
+		t.Error("short chunk request accepted")
+	}
+}
+
+func TestRangeRequestRoundTrip(t *testing.T) {
+	from, to, err := ParseRangeRequest(EncodeRangeRequest(10, 200))
+	if err != nil {
+		t.Fatalf("ParseRangeRequest: %v", err)
+	}
+	if from != 10 || to != 200 {
+		t.Fatalf("round trip mismatch: [%d, %d]", from, to)
+	}
+	if _, _, err := ParseRangeRequest(EncodeRangeRequest(5, 5)); err != nil {
+		t.Errorf("single-block range rejected: %v", err)
+	}
+	if _, _, err := ParseRangeRequest(EncodeRangeRequest(6, 5)); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, _, err := ParseRangeRequest(make([]byte, 15)); err == nil {
+		t.Error("short range request accepted")
+	}
+}
+
+func TestRangeBlocksRoundTrip(t *testing.T) {
+	blocks := [][]byte{[]byte("block-one"), {}, []byte("a longer third block record")}
+	got, err := ParseRangeBlocks(EncodeRangeBlocks(blocks))
+	if err != nil {
+		t.Fatalf("ParseRangeBlocks: %v", err)
+	}
+	if len(got) != len(blocks) {
+		t.Fatalf("got %d records, want %d", len(got), len(blocks))
+	}
+	for i := range blocks {
+		if !bytes.Equal(got[i], blocks[i]) {
+			t.Errorf("record %d mismatch", i)
+		}
+	}
+	empty, err := ParseRangeBlocks(EncodeRangeBlocks(nil))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty range blocks: %v %d", err, len(empty))
+	}
+}
+
+func TestRangeBlocksRejects(t *testing.T) {
+	valid := EncodeRangeBlocks([][]byte{[]byte("abc")})
+	cases := map[string][]byte{
+		"short header":   {0, 0},
+		"trailing bytes": append(append([]byte{}, valid...), 0xff),
+		"truncated":      valid[:len(valid)-1],
+		"count beyond":   {0, 0, 0, 5, 0, 0, 0, 1, 0xaa},
+		"huge count":     {0xff, 0xff, 0xff, 0xff},
+		"huge record":    {0, 0, 0, 1, 0xff, 0xff, 0xff, 0xff, 0xaa},
+	}
+	for name, payload := range cases {
+		if _, err := ParseRangeBlocks(payload); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestHeadAnnounceRoundTrip(t *testing.T) {
+	id := types.Hash{0x42}
+	for _, snap := range []bool{true, false} {
+		gotID, num, gotSnap, err := ParseHeadAnnounce(EncodeHeadAnnounce(id, 99, snap))
+		if err != nil {
+			t.Fatalf("ParseHeadAnnounce: %v", err)
+		}
+		if gotID != id || num != 99 || gotSnap != snap {
+			t.Fatalf("round trip mismatch: %v %d %v", gotID, num, gotSnap)
+		}
+	}
+	if _, _, _, err := ParseHeadAnnounce(make([]byte, types.HashSize+8)); err == nil {
+		t.Error("short announce accepted")
+	}
+}
+
+func TestSyncKindNames(t *testing.T) {
+	want := map[MsgKind]string{
+		MsgSnapRequest:      "snap-request",
+		MsgSnapManifest:     "snap-manifest",
+		MsgSnapChunk:        "snap-chunk",
+		MsgSnapChunkRequest: "snap-chunk-request",
+		MsgRangeRequest:     "range-request",
+		MsgRangeBlocks:      "range-blocks",
+		MsgHeadAnnounce:     "head-announce",
+	}
+	for k, name := range want {
+		if k.String() != name {
+			t.Errorf("kind %d: String() = %q, want %q", uint8(k), k.String(), name)
+		}
+	}
+	if MsgKind(77).String() != "kind(77)" {
+		t.Errorf("unknown kind formatting broke: %q", MsgKind(77).String())
+	}
+}

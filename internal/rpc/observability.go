@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"github.com/smartcrowd/smartcrowd/internal/node"
 	"github.com/smartcrowd/smartcrowd/internal/telemetry"
 )
 
@@ -177,7 +178,7 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, traceResponse(rec))
 		return
 	}
-	limit, err := parseQueryInt(r, "limit", 32)
+	limit, err := parseQueryPositive(r, "limit", 32)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
@@ -329,11 +330,17 @@ type HealthResponse struct {
 	PendingTxs int    `json:"pendingTxs"`
 	Orphans    int    `json:"orphans"`
 	EventSeq   uint64 `json:"eventSeq"`
+	// SyncMode is the node's current sync mode (live, snap, replay).
+	SyncMode string `json:"syncMode"`
 }
 
 // handleHealth reports readiness: 200 when the node can serve fresh
-// chain state, 503 when it has a transport but no peers (an isolated
-// node serves stale answers and should be rotated out of load balancing).
+// chain state, 503 when it cannot — while a snap-sync session is
+// adopting a downloaded snapshot (answers are about to jump wholesale),
+// or when it has a transport but no peers (an isolated node serves stale
+// answers and should be rotated out of load balancing). snap_syncing
+// takes precedence: a syncing node usually also has its serving peer, so
+// the peer check alone would report it healthy mid-adoption.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	cr, _ := s.reader()
 	head := cr.Head()
@@ -342,6 +349,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		age = 0
 	}
 	peers := s.node.PeerCount()
+	sync := s.node.SyncStatus()
 	resp := HealthResponse{
 		Status:         "ok",
 		HeadNumber:     head.Header.Number,
@@ -351,11 +359,71 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		PendingTxs:     s.node.PoolLen(),
 		Orphans:        s.node.OrphanCount(),
 		EventSeq:       telemetry.EventSeq(),
+		SyncMode:       sync.Mode,
 	}
 	status := http.StatusOK
-	if peers == 0 {
+	switch {
+	case sync.ApplyingSnapshot:
+		resp.Status = "snap_syncing"
+		status = http.StatusServiceUnavailable
+	case peers == 0:
 		resp.Status = "no_peers"
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, resp)
+}
+
+// NodeResponse is the /v1/node operational report: identity, head,
+// storage durability and sync state. Like /v1/health it answers from
+// live process state, outside the view/cache machinery — operators poll
+// it to watch a restart recover or a snap-sync progress, so serving a
+// cached generation would defeat the point.
+type NodeResponse struct {
+	NodeID     string          `json:"nodeId"`
+	HeadNumber uint64          `json:"headNumber"`
+	HeadID     string          `json:"headId"`
+	Peers      int             `json:"peers"`
+	PendingTxs int             `json:"pendingTxs"`
+	Storage    StorageResponse `json:"storage"`
+	Sync       node.SyncStatus `json:"sync"`
+}
+
+// StorageResponse reports the chain's persistence backend.
+type StorageResponse struct {
+	Backend        string `json:"backend"`
+	Dir            string `json:"dir,omitempty"`
+	Blocks         uint64 `json:"blocks"`
+	LogBytes       int64  `json:"logBytes"`
+	IndexBytes     int64  `json:"indexBytes"`
+	WALBytes       int64  `json:"walBytes"`
+	SnapshotBytes  int64  `json:"snapshotBytes"`
+	SnapshotHeight uint64 `json:"snapshotHeight"`
+	// Recovered reports that the last open healed after a crash
+	// (truncated a torn tail or rebuilt the index from the log).
+	Recovered bool `json:"recovered"`
+}
+
+func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
+	cr, _ := s.reader()
+	head := cr.Head()
+	st := s.node.Chain().StorageStats()
+	writeJSON(w, http.StatusOK, NodeResponse{
+		NodeID:     string(s.node.ID()),
+		HeadNumber: head.Header.Number,
+		HeadID:     head.ID().String(),
+		Peers:      s.node.PeerCount(),
+		PendingTxs: s.node.PoolLen(),
+		Storage: StorageResponse{
+			Backend:        st.Backend,
+			Dir:            st.Dir,
+			Blocks:         st.Blocks,
+			LogBytes:       st.LogBytes,
+			IndexBytes:     st.IndexBytes,
+			WALBytes:       st.WALBytes,
+			SnapshotBytes:  st.SnapshotBytes,
+			SnapshotHeight: st.SnapshotHeight,
+			Recovered:      st.Recovered,
+		},
+		Sync: s.node.SyncStatus(),
+	})
 }

@@ -12,12 +12,22 @@
 //	GET  /v1/balance/{address}         account balance (gwei + ether)
 //	GET  /v1/receipt/{txhash}          canonical transaction receipt
 //	GET  /v1/sra/{id}                  SRA record + detection summary
-//	GET  /v1/sras?offset=&limit=       paginated SRA index (limit ≤ 100)
+//	GET  /v1/sras?cursor=&limit=       paginated SRA index (limit ≤ 100)
 //	GET  /v1/reference/{id}            consumer security reference
 //	GET  /v1/proof/{txhash}            Merkle inclusion proof for a tx
 //	POST /v1/tx                        submit a hex-encoded transaction
 //	GET  /v1/events                    live SSE feed of heads/SRAs/verdicts
-//	GET  /v1/health                    readiness probe (peers, head age, depths)
+//	GET  /v1/health                    readiness probe (peers, sync, head age)
+//	GET  /v1/node                      operational report (storage, sync, peers)
+//
+// The list endpoints paginate with opaque cursors (cursor.go): every
+// page carries a nextCursor token that resumes exactly after the last
+// delivered item even if the head moved — or reorged — between requests.
+// The pre-cursor offset/nextOffset contract remains accepted for one
+// release: requests carrying ?offset= are answered in full but stamped
+// with a Deprecation header pointing at the cursor form. /v1/blocks
+// serves bounded ?from=&to= ranges (≤ 100 blocks) as before; an
+// open-ended request (no `to`) pages toward the head via nextCursor.
 //
 // The original unprefixed paths remain as deprecated aliases: they serve
 // identical responses plus a "Deprecation: true" header and a Link to the
@@ -115,6 +125,7 @@ type ChainReader interface {
 	TxLocation(txHash types.Hash) (blockID types.Hash, number uint64, txIdx int, ok bool)
 	SRACount() int
 	SRAList(offset, limit int) []chain.SRARef
+	SRAAt(i int) (chain.SRARef, bool)
 	DetectionResults(sraID types.Hash) []chain.DetectionRecord
 	State() *state.DB
 }
@@ -180,11 +191,12 @@ func NewServerWith(n *node.ProviderNode, c *contract.Contract, cfg Config) *Serv
 	s.mux.HandleFunc("GET /v1/sras", s.measured(s.handleSRAList))
 	s.mux.HandleFunc("GET /v1/blocks", s.measured(s.handleBlockList))
 
-	// Streaming and readiness endpoints: versioned because consumers
-	// script against them, but deliberately outside the cache/view
-	// machinery — both answer from live process state.
+	// Streaming, readiness and operational endpoints: versioned because
+	// consumers script against them, but deliberately outside the
+	// cache/view machinery — all answer from live process state.
 	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/node", s.handleNode)
 
 	// Observability surface. The metrics registry is process-wide, so
 	// every server mounted in one process serves the same numbers.
@@ -656,15 +668,22 @@ const (
 	MaxBlockRangeSize  = 100
 )
 
-// SRAListResponse is a page of the canonical SRA index.
+// SRAListResponse is a page of the canonical SRA index. NextCursor is
+// always present: on the last page it is a poll token that resumes after
+// the final entry once new SRAs land. Offset and NextOffset survive for
+// one release for pre-cursor clients.
 type SRAListResponse struct {
 	Total      int           `json:"total"`
 	Offset     int           `json:"offset"`
 	NextOffset *int          `json:"nextOffset"` // null on the last page
+	NextCursor string        `json:"nextCursor"`
 	SRAs       []SRAResponse `json:"sras"`
 }
 
 // parseQueryInt reads an optional non-negative integer query parameter.
+// Malformed or negative values are rejected here, at parse time, so
+// every list endpoint answers them with a bad_request envelope instead
+// of silently serving an empty page.
 func parseQueryInt(r *http.Request, key string, def int) (int, error) {
 	raw := r.URL.Query().Get(key)
 	if raw == "" {
@@ -677,13 +696,34 @@ func parseQueryInt(r *http.Request, key string, def int) (int, error) {
 	return v, nil
 }
 
-func (s *Server) handleSRAList(w http.ResponseWriter, r *http.Request) {
-	offset, err := parseQueryInt(r, "offset", 0)
+// parseQueryPositive reads an optional integer query parameter that must
+// be at least 1 when present. A limit of 0 is always a client bug —
+// answering it with an empty 200 page hides the bug, so it is rejected
+// like any other malformed value. Oversized limits are NOT rejected:
+// callers clamp them to the documented cap.
+func parseQueryPositive(r *http.Request, key string, def int) (int, error) {
+	v, err := parseQueryInt(r, key, def)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
-		return
+		return 0, err
 	}
-	limit, err := parseQueryInt(r, "limit", DefaultSRAPageSize)
+	if v == 0 {
+		return 0, fmt.Errorf("rpc: bad %s: want a positive integer", key)
+	}
+	return v, nil
+}
+
+// deprecateOffsetParam stamps a response to a request that paginated by
+// the legacy ?offset= parameter: answered in full, but marked so clients
+// migrate to the cursor form before the parameter is removed.
+func deprecateOffsetParam(w http.ResponseWriter, successor string) {
+	mLegacyHits.Inc()
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", "<"+successor+">; rel=\"successor-version\"")
+}
+
+func (s *Server) handleSRAList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit, err := parseQueryPositive(r, "limit", DefaultSRAPageSize)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
@@ -692,13 +732,41 @@ func (s *Server) handleSRAList(w http.ResponseWriter, r *http.Request) {
 		limit = MaxSRAPageSize
 	}
 	cr, view := s.reader()
-	key := fmt.Sprintf("sras:%d:%d", offset, limit)
+
+	var start int
+	switch {
+	case q.Has("cursor") && q.Has("offset"):
+		writeErr(w, http.StatusBadRequest, CodeBadRequest,
+			errors.New("rpc: cursor and offset are mutually exclusive"))
+		return
+	case q.Has("cursor"):
+		cur, err := decodeCursor(q.Get("cursor"), cursorKindSRAs)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
+			return
+		}
+		start = resolveSRACursor(cr, cur)
+	default:
+		offset, err := parseQueryInt(r, "offset", 0)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
+			return
+		}
+		if q.Has("offset") {
+			deprecateOffsetParam(w, "/v1/sras?cursor=")
+		}
+		start = offset
+	}
+
+	// Cursor and offset requests that resolve to the same position share
+	// one cache entry: the body depends only on (start, limit, view).
+	key := fmt.Sprintf("sras:%d:%d", start, limit)
 	s.serveRead(w, r, view, cacheRef{key: key}, func() (int, interface{}) {
 		st := cr.State()
-		refs := cr.SRAList(offset, limit)
+		refs := cr.SRAList(start, limit)
 		resp := SRAListResponse{
 			Total:  cr.SRACount(),
-			Offset: offset,
+			Offset: start,
 			SRAs:   make([]SRAResponse, 0, len(refs)),
 		}
 		for _, ref := range refs {
@@ -719,24 +787,62 @@ func (s *Server) handleSRAList(w http.ResponseWriter, r *http.Request) {
 				Reports:            len(cr.DetectionResults(ref.ID)),
 			})
 		}
-		if next := offset + len(refs); len(refs) > 0 && next < resp.Total {
+		if next := start + len(refs); len(refs) > 0 && next < resp.Total {
 			resp.NextOffset = &next
 		}
+		resp.NextCursor = nextSRACursor(cr, start, refs)
 		return http.StatusOK, resp
 	})
 }
 
-// BlockListResponse is a bounded range of canonical blocks.
+// BlockListResponse is a range of canonical blocks. NextCursor is set on
+// open-ended requests (no explicit `to`, or a cursor): it resumes after
+// the last delivered block, and on a caught-up page it is a poll token
+// for blocks mined since.
 type BlockListResponse struct {
-	From   uint64          `json:"from"`
-	To     uint64          `json:"to"`
-	Head   uint64          `json:"head"`
-	Blocks []BlockResponse `json:"blocks"`
+	From       uint64          `json:"from"`
+	To         uint64          `json:"to"`
+	Head       uint64          `json:"head"`
+	NextCursor string          `json:"nextCursor,omitempty"`
+	Blocks     []BlockResponse `json:"blocks"`
 }
 
 func (s *Server) handleBlockList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
 	cr, view := s.reader()
 	head := cr.HeadNumber()
+
+	if q.Has("cursor") {
+		if q.Has("from") || q.Has("to") {
+			writeErr(w, http.StatusBadRequest, CodeBadRequest,
+				errors.New("rpc: cursor and from/to are mutually exclusive"))
+			return
+		}
+		cur, err := decodeCursor(q.Get("cursor"), cursorKindBlocks)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
+			return
+		}
+		// Block numbers are fixed at seal time, so the anchor check is
+		// exact: either the block just below the resume point is still the
+		// one the client saw, or that history was reorged away and every
+		// continuation would silently splice two forks — reject instead.
+		if cur.pos > 0 {
+			parent, err := cr.BlockByNumber(cur.pos - 1)
+			if err != nil || parent.ID() != cur.lastID {
+				writeErr(w, http.StatusBadRequest, CodeBadRequest,
+					errors.New("rpc: cursor invalidated by a reorg; restart pagination from a finalized block"))
+				return
+			}
+		}
+		to := cur.pos + MaxBlockRangeSize - 1
+		if to > head {
+			to = head
+		}
+		s.serveBlockPage(w, r, view, cr, cur.pos, to, head, true)
+		return
+	}
+
 	from, err := parseQueryInt(r, "from", 0)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
@@ -752,22 +858,54 @@ func (s *Server) handleBlockList(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("rpc: bad range: from %d after to %d", from, to))
 		return
 	}
-	if to-from+1 > MaxBlockRangeSize {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest,
-			fmt.Errorf("rpc: range %d..%d spans %d blocks, cap is %d", from, to, to-from+1, MaxBlockRangeSize))
+	if q.Has("to") {
+		// Explicitly bounded ranges keep the hard cap: the client named
+		// both ends, so a too-wide range is a contract violation.
+		if to-from+1 > MaxBlockRangeSize {
+			writeErr(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("rpc: range %d..%d spans %d blocks, cap is %d", from, to, to-from+1, MaxBlockRangeSize))
+			return
+		}
+		s.serveBlockPage(w, r, view, cr, uint64(from), uint64(to), head, false)
 		return
 	}
-	key := fmt.Sprintf("blocks:%d:%d", from, to)
+	// Open-ended (`to` defaulted to the head): page instead of reject —
+	// the first MaxBlockRangeSize blocks now, a cursor for the rest.
+	if to-from+1 > MaxBlockRangeSize {
+		to = from + MaxBlockRangeSize - 1
+	}
+	s.serveBlockPage(w, r, view, cr, uint64(from), uint64(to), head, true)
+}
+
+// serveBlockPage renders one canonical block range. tail marks an
+// open-ended iteration, which mints a nextCursor resuming after the last
+// delivered block (or re-polling the same position when the page is
+// empty because the iteration caught up with the head).
+func (s *Server) serveBlockPage(w http.ResponseWriter, r *http.Request, view *chain.ReadView, cr ChainReader, from, to, head uint64, tail bool) {
+	key := fmt.Sprintf("blocks:%d:%d:%t", from, to, tail)
 	s.serveRead(w, r, view, cacheRef{key: key}, func() (int, interface{}) {
 		// The whole range resolves from one snapshot (one lock
 		// acquisition in oracle mode), so a reorg mid-request can never
 		// mix blocks from two forks into a single page.
-		resp := BlockListResponse{From: uint64(from), To: uint64(to), Head: head}
-		for _, blk := range cr.BlocksRange(uint64(from), uint64(to)) {
+		resp := BlockListResponse{From: from, To: to, Head: head}
+		blocks := cr.BlocksRange(from, to)
+		for _, blk := range blocks {
 			resp.Blocks = append(resp.Blocks, blockResponse(blk))
 		}
 		if len(resp.Blocks) > 0 {
 			resp.To = resp.Blocks[len(resp.Blocks)-1].Number
+		}
+		if tail {
+			next := cursor{kind: cursorKindBlocks, headID: cr.Head().ID(), pos: from}
+			if n := len(blocks); n > 0 {
+				next.pos = blocks[n-1].Header.Number + 1
+				next.lastID = blocks[n-1].ID()
+			} else if from > 0 {
+				if blk, err := cr.BlockByNumber(from - 1); err == nil {
+					next.lastID = blk.ID()
+				}
+			}
+			resp.NextCursor = encodeCursor(next)
 		}
 		return http.StatusOK, resp
 	})

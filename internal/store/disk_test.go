@@ -1,0 +1,510 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/smartcrowd/smartcrowd/internal/chain"
+	"github.com/smartcrowd/smartcrowd/internal/contract"
+	"github.com/smartcrowd/smartcrowd/internal/types"
+	"github.com/smartcrowd/smartcrowd/internal/wallet"
+)
+
+// fixture drives a durable chain: wallets, nonce bookkeeping and a block
+// builder, so tests express "grow the chain, kill it, reopen it" directly.
+type fixture struct {
+	t      *testing.T
+	chain  *chain.Chain
+	miner  *wallet.Wallet
+	payer  *wallet.Wallet
+	nonces map[types.Address]uint64
+}
+
+func baseConfig() chain.Config {
+	verifier := contract.VerifierFunc(func(types.Hash, types.Finding) bool { return true })
+	cfg := chain.DefaultConfig(contract.New(contract.DefaultParams(), verifier))
+	cfg.SkipPoWCheck = true
+	payer := wallet.NewDeterministic("store-payer")
+	cfg.Alloc = map[types.Address]types.Amount{
+		payer.Address(): types.EtherAmount(5000),
+	}
+	return cfg
+}
+
+// openFixture builds a chain over the given datadir (empty dir = fresh
+// chain). Storage open errors fail the test; chain replay errors are
+// returned for the corruption tests to assert on.
+func openFixture(t *testing.T, dir string, snapInterval uint64) (*fixture, error) {
+	t.Helper()
+	cfg := baseConfig()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	cfg.Storage = d
+	cfg.SnapshotInterval = snapInterval
+	c, err := chain.New(cfg)
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	return &fixture{
+		t:      t,
+		chain:  c,
+		miner:  wallet.NewDeterministic("store-miner"),
+		payer:  wallet.NewDeterministic("store-payer"),
+		nonces: map[types.Address]uint64{},
+	}, nil
+}
+
+func mustOpen(t *testing.T, dir string, snapInterval uint64) *fixture {
+	t.Helper()
+	f, err := openFixture(t, dir, snapInterval)
+	if err != nil {
+		t.Fatalf("reopen chain: %v", err)
+	}
+	return f
+}
+
+// memFixture is the never-closed in-memory oracle.
+func memFixture(t *testing.T) *fixture {
+	t.Helper()
+	c, err := chain.New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{
+		t:      t,
+		chain:  c,
+		miner:  wallet.NewDeterministic("store-miner"),
+		payer:  wallet.NewDeterministic("store-payer"),
+		nonces: map[types.Address]uint64{},
+	}
+}
+
+// extend builds and imports one block with n transfer transactions.
+func (f *fixture) extend(n int) *types.Block {
+	f.t.Helper()
+	txs := make([]*types.Transaction, n)
+	for i := range txs {
+		var to types.Address
+		to[0], to[1] = byte(i), byte(f.nonces[f.payer.Address()])
+		tx := &types.Transaction{
+			Kind:     types.TxTransfer,
+			Nonce:    f.nonces[f.payer.Address()],
+			To:       to,
+			Value:    types.GWei,
+			GasLimit: 21_000,
+			GasPrice: 50 * types.GWei,
+		}
+		if err := types.SignTx(tx, f.payer); err != nil {
+			f.t.Fatal(err)
+		}
+		f.nonces[f.payer.Address()]++
+		txs[i] = tx
+	}
+	head := f.chain.Head()
+	blk, err := f.chain.BuildBlock(head.ID(), f.miner.Address(), head.Header.Time+15_000, 1000, txs)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	if _, err := f.chain.InsertBlock(blk); err != nil {
+		f.t.Fatal(err)
+	}
+	return blk
+}
+
+// insert imports a pre-built block, returning the error.
+func (f *fixture) insert(blk *types.Block) error {
+	_, err := f.chain.InsertBlock(blk)
+	return err
+}
+
+// assertEqualChains proves two chains are byte-identical: same head, same
+// total difficulty, and every canonical block encodes to the same bytes.
+func assertEqualChains(t *testing.T, got, want *chain.Chain) {
+	t.Helper()
+	if g, w := got.Head().ID(), want.Head().ID(); g != w {
+		t.Fatalf("head mismatch: got %s, want %s", g, w)
+	}
+	if g, w := got.TotalDifficulty(), want.TotalDifficulty(); g != w {
+		t.Fatalf("total difficulty mismatch: got %d, want %d", g, w)
+	}
+	gb, wb := got.CanonicalBlocks(), want.CanonicalBlocks()
+	if len(gb) != len(wb) {
+		t.Fatalf("canonical length mismatch: got %d, want %d", len(gb), len(wb))
+	}
+	for i := range gb {
+		if !bytes.Equal(types.EncodeBlock(gb[i]), types.EncodeBlock(wb[i])) {
+			t.Fatalf("canonical block %d differs byte-for-byte", i)
+		}
+	}
+}
+
+// TestRestartEquivalence is the oracle the tentpole demands: a chain that
+// grows, closes and reopens must be byte-identical to one that never
+// closed — with and without a snapshot accelerating the reopen.
+func TestRestartEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name         string
+		snapInterval uint64
+	}{
+		{"full-replay", 0},
+		{"snapshot-restore", 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			durable := mustOpen(t, dir, tc.snapInterval)
+			oracle := memFixture(t)
+			oracle.nonces = durable.nonces // one payer, one nonce stream
+			var blocks []*types.Block
+			for i := 0; i < 12; i++ {
+				blocks = append(blocks, durable.extend(2))
+			}
+			for _, blk := range blocks {
+				if err := oracle.insert(blk); err != nil {
+					t.Fatalf("oracle insert: %v", err)
+				}
+			}
+			if err := durable.chain.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+
+			reopened := mustOpen(t, dir, tc.snapInterval)
+			defer reopened.chain.Close()
+			assertEqualChains(t, reopened.chain, oracle.chain)
+
+			// The reopened chain keeps the same live state: SRA count,
+			// balances, and it accepts the next oracle block.
+			next := oracle.extend(2)
+			if err := reopened.insert(next); err != nil {
+				t.Fatalf("reopened chain rejects next block: %v", err)
+			}
+			assertEqualChains(t, reopened.chain, oracle.chain)
+			if tc.snapInterval > 0 {
+				stats := reopened.chain.StorageStats()
+				if stats.SnapshotHeight == 0 {
+					t.Fatal("no durable snapshot recorded")
+				}
+			}
+		})
+	}
+}
+
+// TestCloseRefusesFurtherImports pins ErrClosed.
+func TestCloseRefusesFurtherImports(t *testing.T) {
+	f := mustOpen(t, t.TempDir(), 0)
+	blkDone := f.extend(1)
+	_ = blkDone
+	if err := f.chain.Close(); err != nil {
+		t.Fatal(err)
+	}
+	oracle := memFixture(t)
+	blk := oracle.extend(0)
+	if err := f.insert(blk); !errors.Is(err, chain.ErrClosed) {
+		t.Fatalf("insert after close: got %v, want ErrClosed", err)
+	}
+	if err := f.chain.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// TestCrashInjection kills the commit protocol at every interior point and
+// proves reopen recovers the last acknowledged head and accepts the lost
+// block again.
+func TestCrashInjection(t *testing.T) {
+	for _, point := range []string{"log-written", "log-synced", "idx-written"} {
+		t.Run(point, func(t *testing.T) {
+			dir := t.TempDir()
+			f := mustOpen(t, dir, 0)
+			oracle := memFixture(t)
+			oracle.nonces = f.nonces
+			var committed []*types.Block
+			for i := 0; i < 5; i++ {
+				committed = append(committed, f.extend(1))
+			}
+			for _, blk := range committed {
+				if err := oracle.insert(blk); err != nil {
+					t.Fatal(err)
+				}
+			}
+			lost := oracle.extend(1)
+
+			f.chain.Config().Storage.(*Disk).SetCrashPoint(point)
+			if err := f.insert(lost); err == nil {
+				t.Fatal("injected crash did not surface")
+			}
+			// Simulated kill -9: abandon the chain without Close (no final
+			// snapshot, no index flush).
+
+			reopened := mustOpen(t, dir, 0)
+			defer reopened.chain.Close()
+			if got, want := reopened.chain.Head().ID(), committed[len(committed)-1].ID(); got != want {
+				t.Fatalf("recovered head %s, want last committed %s", got.Short(), want.Short())
+			}
+			if !reopened.chain.StorageStats().Recovered {
+				t.Error("stats do not report crash recovery")
+			}
+			// The lost block is re-importable (the network would re-gossip it).
+			if err := reopened.insert(lost); err != nil {
+				t.Fatalf("re-import of lost block: %v", err)
+			}
+			assertEqualChains(t, reopened.chain, oracle.chain)
+		})
+	}
+}
+
+// TestTornTailRecovery appends garbage to the log and WAL — the torn-write
+// shapes a real crash leaves — and proves reopen heals both.
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	f := mustOpen(t, dir, 0)
+	var last *types.Block
+	for i := 0; i < 4; i++ {
+		last = f.extend(1)
+	}
+	if err := f.chain.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range []string{logName, walName} {
+		path := filepath.Join(dir, name)
+		fh, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fh.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+			t.Fatal(err)
+		}
+		fh.Close()
+	}
+
+	reopened := mustOpen(t, dir, 0)
+	defer reopened.chain.Close()
+	if got := reopened.chain.Head().ID(); got != last.ID() {
+		t.Fatalf("recovered head %s, want %s", got.Short(), last.ID().Short())
+	}
+	if !reopened.chain.StorageStats().Recovered {
+		t.Error("stats do not report recovery")
+	}
+}
+
+// TestCorruptCommittedBlockFailsLoudly flips a byte inside an acknowledged
+// log record: the WAL then claims more blocks than the log can produce,
+// which must refuse to open rather than serve a chain with holes.
+func TestCorruptCommittedBlockFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	f := mustOpen(t, dir, 0)
+	for i := 0; i < 3; i++ {
+		f.extend(1)
+	}
+	if err := f.chain.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, logName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := openFixture(t, dir, 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt committed block: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestIndexRebuild deletes the index outright; reopen must rebuild it from
+// the log.
+func TestIndexRebuild(t *testing.T) {
+	dir := t.TempDir()
+	f := mustOpen(t, dir, 0)
+	var last *types.Block
+	for i := 0; i < 3; i++ {
+		last = f.extend(1)
+	}
+	if err := f.chain.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, idxName)); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened := mustOpen(t, dir, 0)
+	defer reopened.chain.Close()
+	if got := reopened.chain.Head().ID(); got != last.ID() {
+		t.Fatalf("recovered head %s, want %s", got.Short(), last.ID().Short())
+	}
+	stats := reopened.chain.StorageStats()
+	if !stats.Recovered {
+		t.Error("index rebuild not reported as recovery")
+	}
+	if want := int64(3 * idxRecordSize); stats.IndexBytes != want {
+		t.Errorf("rebuilt index %d bytes, want %d", stats.IndexBytes, want)
+	}
+}
+
+// TestCorruptSnapshotFallsBackToReplay damages the snapshot file; reopen
+// must ignore it and recover by full re-execution.
+func TestCorruptSnapshotFallsBackToReplay(t *testing.T) {
+	dir := t.TempDir()
+	f := mustOpen(t, dir, 2)
+	oracle := memFixture(t)
+	oracle.nonces = f.nonces
+	for i := 0; i < 6; i++ {
+		blk := f.extend(1)
+		if err := oracle.insert(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.chain.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, snapName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-10] ^= 0x55
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened := mustOpen(t, dir, 2)
+	defer reopened.chain.Close()
+	assertEqualChains(t, reopened.chain, oracle.chain)
+}
+
+// TestForeignDatadirRefused pins the meta check: a datadir initialized for
+// one genesis refuses a chain with another.
+func TestForeignDatadirRefused(t *testing.T) {
+	dir := t.TempDir()
+	f := mustOpen(t, dir, 0)
+	f.extend(1)
+	if err := f.chain.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := baseConfig()
+	other := wallet.NewDeterministic("other-funder")
+	cfg.Alloc[other.Address()] = types.EtherAmount(1) // different genesis state
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	cfg.Storage = d
+	if _, err := chain.New(cfg); !errors.Is(err, ErrForeignDatadir) {
+		t.Fatalf("foreign datadir: got %v, want ErrForeignDatadir", err)
+	}
+}
+
+// TestReorgSurvivesRestart grows a fork that wins after a restart cycle:
+// side blocks must persist and replay must land on the same head the
+// live chain chose.
+func TestReorgSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	f := mustOpen(t, dir, 0)
+	oracle := memFixture(t)
+	oracle.nonces = f.nonces
+
+	base := f.extend(1)
+	if err := oracle.insert(base); err != nil {
+		t.Fatal(err)
+	}
+	// Losing branch: one block on base. Winning branch: two blocks on base
+	// built by the oracle and fed to the durable chain.
+	loser, err := f.chain.BuildBlock(base.ID(), f.miner.Address(), base.Header.Time+10_000, 900, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.chain.InsertBlock(loser); err != nil {
+		t.Fatal(err)
+	}
+	w1 := oracle.extend(1)
+	w2 := oracle.extend(1)
+	for _, blk := range []*types.Block{w1, w2} {
+		if err := f.insert(blk); err != nil {
+			t.Fatalf("winning branch import: %v", err)
+		}
+	}
+	if f.chain.Head().ID() != w2.ID() {
+		t.Fatal("reorg did not land before restart")
+	}
+	if err := f.chain.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened := mustOpen(t, dir, 0)
+	defer reopened.chain.Close()
+	assertEqualChains(t, reopened.chain, oracle.chain)
+	// The side block survived persistence too.
+	if !reopened.chain.HasBlock(loser.ID()) {
+		t.Error("side-fork block lost across restart")
+	}
+}
+
+// TestViewsStayValidAcrossCloseOpen holds ReadViews over a Close/Open
+// cycle while readers hammer them from other goroutines — run under
+// -race, this proves published views are genuinely immutable and restart
+// cannot tear them.
+func TestViewsStayValidAcrossCloseOpen(t *testing.T) {
+	dir := t.TempDir()
+	f := mustOpen(t, dir, 4)
+	for i := 0; i < 8; i++ {
+		f.extend(2)
+	}
+	view := f.chain.CurrentView()
+	wantHead := view.HeadID()
+	wantRoot := view.Head().Header.StateRoot
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if view.HeadID() != wantHead {
+					t.Error("view head changed")
+					return
+				}
+				_ = view.BlocksRange(0, view.HeadNumber())
+				_ = view.SRAList(0, 10)
+				st := view.State()
+				_ = st.Balance(f.payer.Address())
+				if view.Head().Header.StateRoot != wantRoot {
+					t.Error("view state root changed")
+					return
+				}
+			}
+		}()
+	}
+
+	if err := f.chain.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened := mustOpen(t, dir, 4)
+	reopened.nonces = f.nonces
+	for i := 0; i < 4; i++ {
+		reopened.extend(1)
+	}
+	if err := reopened.chain.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+}

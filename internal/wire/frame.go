@@ -74,9 +74,14 @@ const (
 	kindCaps
 )
 
-// capTrace is the capability bit (in the kindCaps payload's first byte)
-// meaning "send me version-2 traced frames".
-const capTrace = 0x01
+// Capability bits in the kindCaps payload's first byte.
+const (
+	// capTrace means "send me version-2 traced frames".
+	capTrace = 0x01
+	// capSnap means "I speak the snap-sync message kinds (manifest,
+	// chunk and range exchange) and can serve state snapshots".
+	capSnap = 0x02
+)
 
 // Frame is one wire unit: a message kind plus its payload. Trace, when
 // valid, rides in a version-2 envelope ahead of the payload; SentNanos
@@ -191,10 +196,13 @@ func ReadFrame(r io.Reader) (Frame, error) {
 // Future capabilities extend the payload; decodeCaps ignores trailing
 // bytes it does not understand, so the frame can grow without another
 // negotiation mechanism.
-func encodeCaps() []byte { return []byte{capTrace} }
+func encodeCaps() []byte { return []byte{capTrace | capSnap} }
 
-// decodeCaps reports whether a kindCaps payload advertises trace
-// support. Empty or malformed payloads advertise nothing.
-func decodeCaps(payload []byte) (trace bool) {
-	return len(payload) >= 1 && payload[0]&capTrace != 0
+// decodeCaps reports which capabilities a kindCaps payload advertises.
+// Empty or malformed payloads advertise nothing.
+func decodeCaps(payload []byte) (trace, snap bool) {
+	if len(payload) < 1 {
+		return false, false
+	}
+	return payload[0]&capTrace != 0, payload[0]&capSnap != 0
 }

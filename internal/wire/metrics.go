@@ -24,6 +24,7 @@ var (
 	mPeers         = telemetry.GetGauge("smartcrowd_wire_peers")
 	mFanout        = telemetry.GetHistogram("smartcrowd_wire_broadcast_fanout")
 	mTracePeers    = telemetry.GetCounter("smartcrowd_wire_trace_peers_total")
+	mSnapPeers     = telemetry.GetCounter("smartcrowd_wire_snap_peers_total")
 	mPropHop       = telemetry.GetHistogram("smartcrowd_wire_propagation_ms", telemetry.L("leg", "hop"))
 	mPropE2E       = telemetry.GetHistogram("smartcrowd_wire_propagation_ms", telemetry.L("leg", "e2e"))
 )
@@ -49,6 +50,7 @@ func init() {
 	telemetry.SetHelp("smartcrowd_wire_peers", "currently connected peers")
 	telemetry.SetHelp("smartcrowd_wire_broadcast_fanout", "peers reached per Broadcast call")
 	telemetry.SetHelp("smartcrowd_wire_trace_peers_total", "peers that advertised the trace capability")
+	telemetry.SetHelp("smartcrowd_wire_snap_peers_total", "peers that advertised the snap-sync capability")
 	telemetry.SetHelp("smartcrowd_wire_propagation_ms",
 		"traced-frame latency in milliseconds: leg=hop is sender stamp to local receipt, leg=e2e is trace origin (seal start) to local receipt; cross-host values include clock skew, clamped at zero")
 }

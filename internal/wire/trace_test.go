@@ -82,17 +82,29 @@ func TestTracedFrameTruncatedEnvelopeRejected(t *testing.T) {
 }
 
 func TestCapsCodec(t *testing.T) {
-	if !decodeCaps(encodeCaps()) {
-		t.Fatal("our own caps payload does not advertise tracing")
+	trace, snap := decodeCaps(encodeCaps())
+	if !trace || !snap {
+		t.Fatal("our own caps payload does not advertise tracing and snap-sync")
 	}
-	if decodeCaps(nil) || decodeCaps([]byte{}) {
-		t.Fatal("empty caps payload advertised tracing")
+	if tr, sn := decodeCaps(nil); tr || sn {
+		t.Fatal("nil caps payload advertised a capability")
 	}
-	if decodeCaps([]byte{0x00}) {
-		t.Fatal("zero bitmask advertised tracing")
+	if tr, sn := decodeCaps([]byte{}); tr || sn {
+		t.Fatal("empty caps payload advertised a capability")
+	}
+	if tr, sn := decodeCaps([]byte{0x00}); tr || sn {
+		t.Fatal("zero bitmask advertised a capability")
+	}
+	// Each bit decodes independently: a trace-only legacy payload must
+	// not imply snap support, and vice versa.
+	if tr, sn := decodeCaps([]byte{capTrace}); !tr || sn {
+		t.Fatal("trace-only payload misdecoded")
+	}
+	if tr, sn := decodeCaps([]byte{capSnap}); tr || !sn {
+		t.Fatal("snap-only payload misdecoded")
 	}
 	// Unknown future bits and trailing bytes are tolerated.
-	if !decodeCaps([]byte{capTrace | 0x80, 0xff, 0xff}) {
+	if tr, _ := decodeCaps([]byte{capTrace | 0x80, 0xff, 0xff}); !tr {
 		t.Fatal("future caps payload rejected")
 	}
 }

@@ -86,6 +86,14 @@ type peer struct {
 	// trace capability; until then (and forever, for legacy peers) every
 	// outbound frame is stripped to the byte-identical version-1 form.
 	traceCapable atomic.Bool
+	// snapCapable flips with the snap bit of the same frame; the
+	// transport then fabricates a local MsgHeadAnnounce so the node's
+	// syncer learns the peer's handshake head and capabilities together.
+	snapCapable atomic.Bool
+	// helloHead/helloHeadNumber are the canonical head the peer
+	// advertised in its handshake, frozen at connection setup.
+	helloHead       types.Hash
+	helloHeadNumber uint64
 }
 
 // Transport is a TCP implementation of p2p.Transport. All methods are
@@ -336,11 +344,13 @@ func (t *Transport) setupConn(conn net.Conn, dialed bool) (*peer, bool) {
 		return nil, false
 	}
 	p := &peer{
-		id:     h.NodeID,
-		conn:   conn,
-		out:    make(chan Frame, t.cfg.QueueSize),
-		done:   make(chan struct{}),
-		dialed: dialed,
+		id:              h.NodeID,
+		conn:            conn,
+		out:             make(chan Frame, t.cfg.QueueSize),
+		done:            make(chan struct{}),
+		dialed:          dialed,
+		helloHead:       h.HeadID,
+		helloHeadNumber: h.HeadNumber,
 	}
 
 	t.mu.Lock()
@@ -434,14 +444,36 @@ func (t *Transport) readLoop(p *peer) {
 		case kindPing, kindHello:
 			continue
 		case kindCaps:
-			if decodeCaps(f.Payload) && !p.traceCapable.Swap(true) {
+			trace, snap := decodeCaps(f.Payload)
+			if trace && !p.traceCapable.Swap(true) {
 				mTracePeers.Inc()
 			}
+			if snap && !p.snapCapable.Swap(true) {
+				mSnapPeers.Inc()
+			}
+			// The capability frame is the earliest moment we know both the
+			// peer's head (from its handshake) and what it speaks. Fabricate
+			// a local head announce so the node's syncer can decide whether
+			// to snap-sync from this peer. The kind is never accepted off
+			// the socket (see below), so the announce — and the capability
+			// claim inside it — can only originate here.
+			t.deliver(p2p.Message{
+				From:    p.id,
+				Kind:    p2p.MsgHeadAnnounce,
+				Payload: p2p.EncodeHeadAnnounce(p.helloHead, p.helloHeadNumber, snap),
+			})
 			continue
+		case p2p.MsgHeadAnnounce:
+			// Synthetic-only kind: a remote frame claiming it is hostile
+			// or confused either way.
+			mUnknownFrames.Inc()
 		case p2p.MsgTx, p2p.MsgBlock, p2p.MsgBlockRequest:
 			if f.Trace.Valid() {
 				observePropagation(f)
 			}
+			t.deliver(p2p.Message{From: p.id, Kind: f.Kind, Payload: f.Payload, Trace: f.Trace})
+		case p2p.MsgSnapRequest, p2p.MsgSnapManifest, p2p.MsgSnapChunk,
+			p2p.MsgSnapChunkRequest, p2p.MsgRangeRequest, p2p.MsgRangeBlocks:
 			t.deliver(p2p.Message{From: p.id, Kind: f.Kind, Payload: f.Payload, Trace: f.Trace})
 		default:
 			mUnknownFrames.Inc()

@@ -62,7 +62,10 @@ func hasPeer(tr *Transport, id p2p.NodeID) bool {
 	return false
 }
 
-// receiveN drains tr's inbox until n messages arrive or the timeout fires.
+// receiveN drains tr's inbox until n protocol messages arrive or the
+// timeout fires. Synthetic head announces (fabricated per connection at
+// capability exchange) are expected background traffic, not part of any
+// test's expected stream, so they are filtered here.
 func receiveN(t *testing.T, tr *Transport, n int, timeout time.Duration) []p2p.Message {
 	t.Helper()
 	var got []p2p.Message
@@ -74,7 +77,12 @@ func receiveN(t *testing.T, tr *Transport, n int, timeout time.Duration) []p2p.M
 		case <-deadline:
 			t.Fatalf("timed out with %d/%d messages", len(got), n)
 		}
-		got = append(got, tr.Receive(tr.cfg.NodeID)...)
+		for _, m := range tr.Receive(tr.cfg.NodeID) {
+			if m.Kind == p2p.MsgHeadAnnounce {
+				continue
+			}
+			got = append(got, m)
+		}
 	}
 	return got
 }
