@@ -258,6 +258,17 @@ func (c *Chain) restoreSnapshotPrefix(snap *StoredSnapshot, canonical []*types.B
 // exists to avoid). Callers hold the write lock and have verified
 // st.Root() against the final block's header commitment.
 func (c *Chain) adoptPrefixLocked(blocks []*types.Block, st *state.DB) error {
+	if err := c.validatePrefixLocked(blocks); err != nil {
+		return err
+	}
+	c.installPrefixLocked(blocks, st)
+	return nil
+}
+
+// validatePrefixLocked checks that a snapshot prefix is adoptable by the
+// current chain (still at genesis, parent-linked, headers consistent)
+// without mutating anything. Callers hold the write lock.
+func (c *Chain) validatePrefixLocked(blocks []*types.Block) error {
 	if c.closed {
 		return ErrClosed
 	}
@@ -267,7 +278,6 @@ func (c *Chain) adoptPrefixLocked(blocks []*types.Block, st *state.DB) error {
 	if len(blocks) == 0 {
 		return fmt.Errorf("%w: empty prefix", ErrSnapshotChain)
 	}
-	// Validate the whole prefix before mutating anything.
 	prev := c.genesis.block
 	for i, blk := range blocks {
 		if blk.Header.ParentID != prev.ID() {
@@ -279,6 +289,13 @@ func (c *Chain) adoptPrefixLocked(blocks []*types.Block, st *state.DB) error {
 		}
 		prev = blk
 	}
+	return nil
+}
+
+// installPrefixLocked commits a prefix that already passed
+// validatePrefixLocked into the chain's in-memory structures and
+// publishes the new head. Callers hold the write lock.
+func (c *Chain) installPrefixLocked(blocks []*types.Block, st *state.DB) {
 	parent := c.genesis
 	for _, blk := range blocks {
 		e := &entry{
@@ -299,7 +316,6 @@ func (c *Chain) adoptPrefixLocked(blocks []*types.Block, st *state.DB) error {
 		"id":     parent.block.ID().String(),
 		"txs":    strconv.Itoa(len(parent.block.Txs)),
 	})
-	return nil
 }
 
 // AdoptSnapshot bootstraps a pristine chain from snap-synced material: the
@@ -362,15 +378,22 @@ func (c *Chain) AdoptSnapshot(blocks []*types.Block, stateBlob []byte) error {
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.adoptPrefixLocked(blocks, st); err != nil {
+	if err := c.validatePrefixLocked(blocks); err != nil {
 		mSnapshotRejected.Inc()
 		return err
 	}
-	mSnapshotAdopted.Inc()
+	// Write-ahead, mirroring insertVerifiedLocked: the backend commits the
+	// prefix before memory adopts it, so a persistence failure leaves the
+	// chain untouched (still at genesis, free to fall back to replay)
+	// instead of a memory head whose prefix never reached disk.
 	if c.store != nil && c.persist {
 		if err := c.store.AppendBlocks(blocks, head.ID(), head.Header.Number); err != nil {
 			return fmt.Errorf("chain: persist adopted snapshot blocks: %w", err)
 		}
+	}
+	c.installPrefixLocked(blocks, st)
+	mSnapshotAdopted.Inc()
+	if c.store != nil && c.persist {
 		c.writeSnapshotAsync(StoredSnapshot{
 			Height:    head.Header.Number,
 			BlockID:   head.ID(),

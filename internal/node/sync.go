@@ -237,9 +237,16 @@ func (p *ProviderNode) handleSnapChunk(from p2p.NodeID, payload []byte) {
 		s.mu.Unlock()
 		return
 	}
-	if s.chunkBytes+uint64(len(data)) > s.manifest.StateSize {
-		// The peer is sending more state than its manifest declared.
-		p.abortLocked("chunk-overflow")
+	// Every chunk must be exactly ChunkSize bytes except the final one,
+	// which must complete StateSize exactly. Anything else — overflow,
+	// short chunks that would stretch the session (and its progress
+	// resets) far past the manifest's declared chunk count — aborts.
+	want := s.manifest.StateSize - s.chunkBytes
+	if want > uint64(s.manifest.ChunkSize) {
+		want = uint64(s.manifest.ChunkSize)
+	}
+	if uint64(len(data)) != want {
+		p.abortLocked("chunk-size-mismatch")
 		s.mu.Unlock()
 		return
 	}
@@ -433,11 +440,16 @@ func (p *ProviderNode) finishLocked() {
 // --- serving side ----------------------------------------------------------
 
 // snapServeCache memoizes the last served snapshot so N joining peers
-// cost one state serialization, not N.
+// cost one state serialization, not N. The generating flag coalesces
+// regeneration: while one request serializes fresh state (outside the
+// cache mutex, since SnapshotNow takes the chain lock over a full-state
+// walk), concurrent requests serve the previous cached manifest — or
+// stay silent when there is none — instead of piling up serializations.
 type snapServeCache struct {
-	mu       sync.Mutex
-	manifest p2p.SnapManifest
-	blob     []byte
+	mu         sync.Mutex
+	manifest   p2p.SnapManifest
+	blob       []byte
+	generating bool
 }
 
 // handleSnapRequest answers with a manifest for a recent snapshot,
@@ -448,12 +460,17 @@ func (p *ProviderNode) handleSnapRequest(from p2p.NodeID) {
 	if p.sync.active() {
 		return
 	}
+	head := p.chain.Head()
 	c := &p.snapServe
 	c.mu.Lock()
-	head := p.chain.Head()
-	if c.blob == nil || c.manifest.Height+snapServeSlack < head.Header.Number ||
-		!p.chain.HasBlock(c.manifest.BlockID) {
+	stale := c.blob == nil || c.manifest.Height+snapServeSlack < head.Header.Number ||
+		!p.chain.HasBlock(c.manifest.BlockID)
+	if stale && !c.generating {
+		c.generating = true
+		c.mu.Unlock()
 		snap, err := p.chain.SnapshotNow()
+		c.mu.Lock()
+		c.generating = false
 		if err != nil {
 			c.mu.Unlock()
 			return
@@ -467,6 +484,13 @@ func (p *ProviderNode) handleSnapRequest(from p2p.NodeID) {
 		}
 		c.blob = snap.State
 		mSnapServed.Inc()
+	}
+	if c.blob == nil || !p.chain.HasBlock(c.manifest.BlockID) {
+		// Another request is regenerating and nothing servable is cached
+		// (or the cached snapshot reorged away); the requester's stall
+		// logic re-asks.
+		c.mu.Unlock()
+		return
 	}
 	m := c.manifest
 	c.mu.Unlock()

@@ -1,6 +1,7 @@
 package node
 
 import (
+	"strings"
 	"testing"
 
 	"github.com/smartcrowd/smartcrowd/internal/chain"
@@ -208,6 +209,76 @@ func TestAnnounceBehindIsIgnored(t *testing.T) {
 	}
 	if st := b.SyncStatus(); st.Mode != SyncLive {
 		t.Errorf("status mode = %s, want live", st.Mode)
+	}
+}
+
+// TestUndersizedSnapChunkAborts: a serving peer must deliver chunks of
+// exactly the manifest's ChunkSize (the final one completing StateSize
+// exactly). A peer dribbling undersized chunks — which would stretch the
+// session, and its stall-timer resets, arbitrarily — is cut off at the
+// first short chunk.
+func TestUndersizedSnapChunkAborts(t *testing.T) {
+	sn := newSyncNet(t)
+	a := sn.provider("pa")
+	sn.grow(a, 40)
+
+	b := sn.provider("pb")
+	evil := p2p.NodeID("evil")
+	sn.net.Join(evil)
+
+	head := a.Chain().Head()
+	manifest := p2p.SnapManifest{
+		Height:     head.Header.Number,
+		BlockID:    head.ID(),
+		StateRoot:  head.Header.StateRoot,
+		StateSize:  1 << 20,
+		ChunkSize:  1 << 10,
+		HeadNumber: head.Header.Number,
+		HeadID:     head.ID(),
+	}
+	err := sn.net.Send(evil, b.ID(), p2p.Message{
+		Kind:    p2p.MsgHeadAnnounce,
+		Payload: p2p.EncodeHeadAnnounce(head.ID(), head.Header.Number, true),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pre := telemetry.TakeSnapshot()
+	for round := 0; round < 50; round++ {
+		sn.now += 10
+		sn.net.AdvanceTo(sn.now)
+		b.HandleMessages()
+		for _, msg := range sn.net.Receive(evil) {
+			switch msg.Kind {
+			case p2p.MsgSnapRequest:
+				_ = sn.net.Send(evil, b.ID(), p2p.Message{Kind: p2p.MsgSnapManifest, Payload: p2p.EncodeSnapManifest(manifest)})
+			case p2p.MsgSnapChunkRequest:
+				_, idx, err := p2p.ParseSnapChunkRequest(msg.Payload)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// One byte instead of the declared 1 KiB.
+				_ = sn.net.Send(evil, b.ID(), p2p.Message{
+					Kind:    p2p.MsgSnapChunk,
+					Payload: p2p.EncodeSnapChunk(manifest.BlockID, idx, []byte{0xcc}),
+				})
+			}
+		}
+	}
+
+	if b.Syncing() {
+		t.Error("session still open after an undersized chunk")
+	}
+	delta := telemetry.TakeSnapshot().Delta(pre)
+	aborted := false
+	for key, v := range delta {
+		if strings.Contains(key, "chunk-size-mismatch") && v > 0 {
+			aborted = true
+		}
+	}
+	if !aborted {
+		t.Errorf("no chunk-size-mismatch abort recorded: %v", delta)
 	}
 }
 

@@ -95,6 +95,14 @@ const manifestSize = 8 + types.HashSize + types.HashSize + 8 + 4 + 8 + types.Has
 // hostile manifest promising an absurd download, not a protocol constant.
 const MaxSnapStateSize = 1 << 30
 
+// MaxSnapChunks bounds how many chunks a manifest may split its state
+// blob into. The requester allocates a slice-header per chunk and pays
+// one request round-trip each, so without this cap a hostile manifest
+// declaring ChunkSize=1 could demand ~StateSize allocations and hold the
+// session open indefinitely. At MaxSnapStateSize the cap implies an
+// effective minimum chunk size of 64 KiB.
+const MaxSnapChunks = 16384
+
 // EncodeSnapManifest builds a MsgSnapManifest payload.
 func EncodeSnapManifest(m SnapManifest) []byte {
 	out := make([]byte, 0, manifestSize)
@@ -130,6 +138,10 @@ func ParseSnapManifest(payload []byte) (SnapManifest, error) {
 	if m.StateSize > 0 && m.ChunkSize == 0 {
 		mMalformedManifest.Inc()
 		return SnapManifest{}, fmt.Errorf("p2p: snap manifest with zero chunk size")
+	}
+	if n := m.Chunks(); n > MaxSnapChunks {
+		mMalformedManifest.Inc()
+		return SnapManifest{}, fmt.Errorf("p2p: snap manifest declares %d chunks (max %d)", n, MaxSnapChunks)
 	}
 	return m, nil
 }

@@ -45,6 +45,19 @@ func TestSnapManifestRejects(t *testing.T) {
 	if _, err := ParseSnapManifest(zeroChunk); err == nil {
 		t.Error("zero chunk size with nonzero state accepted")
 	}
+	// A tiny chunk size on a huge blob demands ~2^30 chunk round-trips and
+	// a matching slice-header allocation on the requester: rejected.
+	tinyChunks := EncodeSnapManifest(SnapManifest{Height: 1, StateSize: MaxSnapStateSize, ChunkSize: 1})
+	if _, err := ParseSnapManifest(tinyChunks); err == nil {
+		t.Error("manifest with 2^30 chunks accepted")
+	}
+	// Exactly at the chunk cap is legal.
+	atCap := EncodeSnapManifest(SnapManifest{Height: 1, StateSize: MaxSnapStateSize, ChunkSize: MaxSnapStateSize / MaxSnapChunks})
+	if m, err := ParseSnapManifest(atCap); err != nil {
+		t.Errorf("manifest at the chunk cap rejected: %v", err)
+	} else if m.Chunks() != MaxSnapChunks {
+		t.Errorf("Chunks() = %d, want %d", m.Chunks(), MaxSnapChunks)
+	}
 	// Empty state with zero chunk size is legal (a genesis-only server).
 	if _, err := ParseSnapManifest(EncodeSnapManifest(SnapManifest{})); err != nil {
 		t.Errorf("empty manifest rejected: %v", err)

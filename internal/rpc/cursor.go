@@ -15,13 +15,21 @@ package rpc
 // it is validated server-side on every use.
 //
 // The token is base64url over a fixed binary layout plus a truncated
-// keccak checksum. The checksum is an integrity check against mangled or
-// hand-edited tokens (they fail fast with bad_request instead of
-// decoding into a nonsense position) — it is not a secret-keyed MAC, so
-// every decoded field is still range-checked against the serving view.
+// keccak MAC keyed with a per-process random secret. Keying matters
+// beyond integrity: a stale-head cursor is allowed to fall back to an
+// O(n) re-anchoring scan, so if clients could mint tokens with arbitrary
+// headID/lastID they could force that worst case on every request — a
+// cheap CPU-DoS amplifier. With the keyed MAC, forged or hand-edited
+// tokens fail fast at decode with bad_request; only tokens this process
+// actually issued reach the resolver (every decoded field is still
+// range-checked against the serving view). The deliberate consequence is
+// that cursors do not survive a server restart: replaying one yields
+// bad_request and the client restarts pagination, which is the documented
+// contract for any rejected cursor.
 
 import (
 	"bytes"
+	"crypto/rand"
 	"encoding/base64"
 	"encoding/binary"
 	"errors"
@@ -31,6 +39,24 @@ import (
 	"github.com/smartcrowd/smartcrowd/internal/crypto/keccak"
 	"github.com/smartcrowd/smartcrowd/internal/types"
 )
+
+// cursorKey is the per-process MAC secret for cursor tokens.
+var cursorKey = func() [16]byte {
+	var k [16]byte
+	if _, err := rand.Read(k[:]); err != nil {
+		panic(fmt.Sprintf("rpc: cursor key: %v", err))
+	}
+	return k
+}()
+
+// cursorSum computes the keyed checksum over a raw cursor body.
+func cursorSum(raw []byte) [cursorSumLen]byte {
+	buf := make([]byte, 0, len(cursorKey)+cursorRawLen)
+	buf = append(buf, cursorKey[:]...)
+	buf = append(buf, raw...)
+	sum := keccak.Sum256(buf)
+	return [cursorSumLen]byte(sum[:cursorSumLen])
+}
 
 // Cursor kinds: a token is bound to the endpoint that issued it, so a
 // /v1/sras cursor replayed against /v1/blocks is rejected instead of
@@ -68,8 +94,8 @@ func encodeCursor(c cursor) string {
 	raw = append(raw, c.headID[:]...)
 	raw = binary.BigEndian.AppendUint64(raw, c.pos)
 	raw = append(raw, c.lastID[:]...)
-	sum := keccak.Sum256(raw)
-	raw = append(raw, sum[:cursorSumLen]...)
+	sum := cursorSum(raw)
+	raw = append(raw, sum[:]...)
 	return base64.RawURLEncoding.EncodeToString(raw)
 }
 
@@ -82,8 +108,8 @@ func decodeCursor(token string, kind byte) (cursor, error) {
 	if len(raw) != cursorRawLen+cursorSumLen {
 		return cursor{}, fmt.Errorf("%w: %d bytes, want %d", errBadCursor, len(raw), cursorRawLen+cursorSumLen)
 	}
-	sum := keccak.Sum256(raw[:cursorRawLen])
-	if !bytes.Equal(sum[:cursorSumLen], raw[cursorRawLen:]) {
+	sum := cursorSum(raw[:cursorRawLen])
+	if !bytes.Equal(sum[:], raw[cursorRawLen:]) {
 		return cursor{}, fmt.Errorf("%w: checksum mismatch", errBadCursor)
 	}
 	var c cursor

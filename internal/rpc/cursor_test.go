@@ -1,10 +1,13 @@
 package rpc
 
 import (
+	"encoding/base64"
+	"encoding/binary"
 	"net/http"
 	"strings"
 	"testing"
 
+	"github.com/smartcrowd/smartcrowd/internal/crypto/keccak"
 	"github.com/smartcrowd/smartcrowd/internal/types"
 )
 
@@ -42,6 +45,27 @@ func TestCursorCodec(t *testing.T) {
 	}
 	if _, err := decodeCursor(string(tampered), cursorKindSRAs); err == nil {
 		t.Error("tampered token decoded")
+	}
+}
+
+// TestCursorForgedChecksumRejected: a client that knows the token layout
+// but not the per-process key (here, computing the unkeyed keccak the
+// pre-keyed scheme used) cannot mint cursors with arbitrary headID/lastID
+// — forging one of those per request would force the worst-case O(n)
+// re-anchoring scan every time. Forgeries must die at decode.
+func TestCursorForgedChecksumRejected(t *testing.T) {
+	raw := make([]byte, 0, cursorRawLen+cursorSumLen)
+	raw = append(raw, cursorKindSRAs)
+	var head, last types.Hash
+	head[0], last[0] = 0xaa, 0xbb
+	raw = append(raw, head[:]...)
+	raw = binary.BigEndian.AppendUint64(raw, 12345)
+	raw = append(raw, last[:]...)
+	sum := keccak.Sum256(raw)
+	raw = append(raw, sum[:cursorSumLen]...)
+	forged := base64.RawURLEncoding.EncodeToString(raw)
+	if _, err := decodeCursor(forged, cursorKindSRAs); err == nil {
+		t.Fatal("forged unkeyed cursor accepted")
 	}
 }
 

@@ -92,6 +92,12 @@ var (
 	ErrBadMeta        = errors.New("store: corrupt meta file")
 	ErrCorrupt        = errors.New("store: datadir corrupt beyond recovery")
 	ErrClosed         = errors.New("store: closed")
+	// ErrFailed reports a store latched fail-stop after a mid-commit IO
+	// error. The datadir itself stays recoverable (reopen runs the normal
+	// crash recovery); only this handle refuses further commits, so a
+	// half-written commit can never be followed by a successful one that
+	// would mis-align the WAL-acknowledged range on the next open.
+	ErrFailed = errors.New("store: disabled after mid-commit write error")
 )
 
 // crcTable is CRC-32C (Castagnoli), hardware-accelerated on amd64/arm64.
@@ -108,8 +114,10 @@ type Disk struct {
 	idxF      *os.File
 	walF      *os.File
 	logSize   int64
+	walSize   int64
 	seq       uint64 // committed block count per the WAL
 	closed    bool
+	failed    bool // fail-stop latch: see ErrFailed
 	recovered bool
 
 	snapMu     sync.Mutex
@@ -272,12 +280,14 @@ func (d *Disk) recoverWAL() (headID types.Hash, headNumber uint64, err error) {
 		headNumber = binary.BigEndian.Uint64(rec[8+types.HashSize : 8+types.HashSize+8])
 		valid++
 	}
-	if keep := int64(valid) * walRecordSize; keep != int64(len(raw)) {
+	keep := int64(valid) * walRecordSize
+	if keep != int64(len(raw)) {
 		if err := d.walF.Truncate(keep); err != nil {
 			return types.Hash{}, 0, fmt.Errorf("store: truncate wal: %w", err)
 		}
 		d.recovered = true
 	}
+	d.walSize = keep
 	if _, err := d.walF.Seek(0, io.SeekEnd); err != nil {
 		return types.Hash{}, 0, err
 	}
@@ -399,8 +409,10 @@ func appendIdxRecord(buf []byte, offset int64, length uint32) []byte {
 
 // AppendBlocks durably commits blocks plus the resulting fork-choice head:
 // log append, log fsync, index append (unsynced), WAL append, WAL fsync.
-// On any error the in-memory counters are left unchanged — the next open
-// truncates whatever half-commit reached disk.
+// On any error the in-memory counters are left unchanged, the files are
+// rolled back to the last committed sizes (best effort), and the store
+// latches fail-stop — see commitFailed. The next open truncates whatever
+// half-commit reached disk.
 func (d *Disk) AppendBlocks(blocks []*types.Block, headID types.Hash, headNumber uint64) error {
 	if len(blocks) == 0 {
 		return nil
@@ -409,6 +421,9 @@ func (d *Disk) AppendBlocks(blocks []*types.Block, headID types.Hash, headNumber
 	defer d.mu.Unlock()
 	if d.closed {
 		return ErrClosed
+	}
+	if d.failed {
+		return ErrFailed
 	}
 
 	logBuf := make([]byte, 0, 1024*len(blocks))
@@ -422,26 +437,26 @@ func (d *Disk) AppendBlocks(blocks []*types.Block, headID types.Hash, headNumber
 		idxBuf = appendIdxRecord(idxBuf, off+int64(len(logBuf))-int64(len(payload))-logTrailerSize, uint32(len(payload)))
 	}
 	if _, err := d.logF.Write(logBuf); err != nil {
-		return fmt.Errorf("store: append log: %w", err)
+		return d.commitFailed(fmt.Errorf("store: append log: %w", err))
 	}
 	if err := d.crash("log-written"); err != nil {
-		return err
+		return d.commitFailed(err)
 	}
 	if err := d.logF.Sync(); err != nil {
-		return fmt.Errorf("store: sync log: %w", err)
+		return d.commitFailed(fmt.Errorf("store: sync log: %w", err))
 	}
 	if err := d.crash("log-synced"); err != nil {
-		return err
+		return d.commitFailed(err)
 	}
 	// Index writes skip fsync deliberately: the index is rebuilt from the
 	// log on open whenever it disagrees, so its durability adds nothing to
 	// the commit and an fsync here would double the commit's IO barrier
 	// count. (scvet:fsyncdisc audits this via the allowlist.)
 	if _, err := d.idxF.Write(idxBuf); err != nil {
-		return fmt.Errorf("store: append index: %w", err)
+		return d.commitFailed(fmt.Errorf("store: append index: %w", err))
 	}
 	if err := d.crash("idx-written"); err != nil {
-		return err
+		return d.commitFailed(err)
 	}
 
 	wal := make([]byte, 0, walRecordSize)
@@ -450,18 +465,46 @@ func (d *Disk) AppendBlocks(blocks []*types.Block, headID types.Hash, headNumber
 	wal = binary.BigEndian.AppendUint64(wal, headNumber)
 	wal = binary.BigEndian.AppendUint32(wal, crc32.Checksum(wal, crcTable))
 	if _, err := d.walF.Write(wal); err != nil {
-		return fmt.Errorf("store: append wal: %w", err)
+		return d.commitFailed(fmt.Errorf("store: append wal: %w", err))
 	}
 	if err := d.crash("wal-written"); err != nil {
-		return err
+		return d.commitFailed(err)
 	}
 	if err := d.walF.Sync(); err != nil {
-		return fmt.Errorf("store: sync wal: %w", err)
+		return d.commitFailed(fmt.Errorf("store: sync wal: %w", err))
 	}
 
 	d.logSize += int64(len(logBuf))
+	d.walSize += walRecordSize
 	d.seq += uint64(len(blocks))
 	return nil
+}
+
+// commitFailed handles a mid-commit error. The files may hold a partial
+// commit whose log records are CRC-valid; if a later commit from this
+// process were allowed to succeed, the next open would count those orphan
+// records toward the WAL-acknowledged sequence and truncate a genuinely
+// committed block instead, failing recovery. So the store latches
+// fail-stop unconditionally — every subsequent AppendBlocks returns
+// ErrFailed; reopening the datadir runs normal crash recovery — and, for
+// real IO errors, additionally rolls the files back to the last committed
+// sizes (best effort; recovery on the next open does not depend on it).
+// Injected crashes skip the rollback on purpose: the torn on-disk shape
+// is exactly what the crash-recovery tests reopen.
+func (d *Disk) commitFailed(err error) error {
+	d.failed = true
+	if errors.Is(err, errCrashInjected) {
+		return err
+	}
+	if terr := d.logF.Truncate(d.logSize); terr == nil {
+		_ = d.logF.Sync()
+	}
+	_ = d.idxF.Truncate(int64(d.seq) * idxRecordSize)
+	_ = d.walF.Truncate(d.walSize)
+	for _, f := range []*os.File{d.logF, d.idxF, d.walF} {
+		_, _ = f.Seek(0, io.SeekEnd)
+	}
+	return err
 }
 
 // SaveSnapshot atomically replaces the state snapshot: marshal, write to a

@@ -258,6 +258,91 @@ func TestCrashInjection(t *testing.T) {
 	}
 }
 
+// TestMidCommitErrorLatchesFailStop: a mid-commit error can leave
+// CRC-valid log records the WAL never acknowledged. If a later commit
+// from the same handle were allowed to succeed, the next open would count
+// those orphans toward the acknowledged sequence and truncate a genuinely
+// committed block. The handle must latch fail-stop instead; reopening the
+// datadir recovers normally.
+func TestMidCommitErrorLatchesFailStop(t *testing.T) {
+	dir := t.TempDir()
+	f := mustOpen(t, dir, 0)
+	oracle := memFixture(t)
+	oracle.nonces = f.nonces
+	committed := f.extend(1)
+	if err := oracle.insert(committed); err != nil {
+		t.Fatal(err)
+	}
+	lost := oracle.extend(1)
+	next := oracle.extend(1)
+
+	f.chain.Config().Storage.(*Disk).SetCrashPoint("log-written")
+	if err := f.insert(lost); err == nil {
+		t.Fatal("injected mid-commit error did not surface")
+	}
+	// The handle is latched: retrying must fail with ErrFailed, not commit
+	// past the orphan log bytes.
+	if err := f.insert(lost); !errors.Is(err, ErrFailed) {
+		t.Fatalf("append after mid-commit error: got %v, want ErrFailed", err)
+	}
+
+	reopened := mustOpen(t, dir, 0)
+	defer reopened.chain.Close()
+	if got, want := reopened.chain.Head().ID(), committed.ID(); got != want {
+		t.Fatalf("recovered head %s, want last committed %s", got.Short(), want.Short())
+	}
+	if err := reopened.insert(lost); err != nil {
+		t.Fatalf("re-import after recovery: %v", err)
+	}
+	if err := reopened.insert(next); err != nil {
+		t.Fatalf("import past recovery: %v", err)
+	}
+	assertEqualChains(t, reopened.chain, oracle.chain)
+}
+
+// TestAdoptSnapshotPersistFailureLeavesGenesis pins the write-ahead
+// ordering of snapshot adoption: when persisting the adopted prefix
+// fails, the in-memory chain must stay at genesis (free to fall back to
+// replay) instead of publishing a head whose prefix never reached disk —
+// which would brick the datadir on the next restart.
+func TestAdoptSnapshotPersistFailureLeavesGenesis(t *testing.T) {
+	src := memFixture(t)
+	var prefix []*types.Block
+	for i := 0; i < 5; i++ {
+		prefix = append(prefix, src.extend(1))
+	}
+	snap, err := src.chain.SnapshotNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	f := mustOpen(t, dir, 0)
+	f.chain.Config().Storage.(*Disk).SetCrashPoint("log-written")
+	if err := f.chain.AdoptSnapshot(prefix, snap.State); err == nil {
+		t.Fatal("adoption with failing persistence succeeded")
+	}
+	if n := f.chain.HeadNumber(); n != 0 {
+		t.Fatalf("chain head = %d after failed adoption, want genesis", n)
+	}
+	if err := f.chain.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	reopened := mustOpen(t, dir, 0)
+	defer reopened.chain.Close()
+	if n := reopened.chain.HeadNumber(); n != 0 {
+		t.Fatalf("reopened head = %d, want genesis", n)
+	}
+	// The pristine reopened chain can still adopt the snapshot for real.
+	if err := reopened.chain.AdoptSnapshot(prefix, snap.State); err != nil {
+		t.Fatalf("adoption after recovery: %v", err)
+	}
+	if got, want := reopened.chain.Head().ID(), src.chain.Head().ID(); got != want {
+		t.Fatalf("adopted head %s, want %s", got.Short(), want.Short())
+	}
+}
+
 // TestTornTailRecovery appends garbage to the log and WAL — the torn-write
 // shapes a real crash leaves — and proves reopen heals both.
 func TestTornTailRecovery(t *testing.T) {
