@@ -18,21 +18,28 @@ check: fmt vet lint race telemetry-budget trace-budget
 # lint runs scvet, the project-specific analyzer enforcing the invariants
 # generic linters cannot see: consensus determinism (detsource),
 # errors.Is discipline (senterr), crypto-free mutex critical sections
-# (locksafe), stable /metrics names (metricname), bounded network-sized
-# allocations (boundalloc), and structured-logging discipline in
-# internal packages (logdisc). Audited exceptions live in .scvet.allow
-# with their justifications; see DESIGN.md §9.
+# (locksafe), acyclic lock ordering (lockorder), terminating goroutines
+# (goleak), stable /metrics names (metricname), bounded network-sized
+# allocations (boundalloc), wire-input taint tracking (wiretaint),
+# structured-logging discipline (logdisc), and durable commits
+# (fsyncdisc). Run `scvet -list` for the catalog. Audited exceptions
+# live in .scvet.allow with their justifications; see DESIGN.md §9.
 lint:
 	$(GO) run ./cmd/scvet ./...
 
 # fuzz-smoke runs each attacker-facing decoder's native fuzz target
-# briefly (frames and handshakes off the TCP wire, RLP off gossip).
+# briefly (frames and handshakes off the TCP wire, RLP off gossip, and
+# the snap-sync/range-sync payload decoders a hostile peer controls).
 # Override FUZZTIME for longer local campaigns.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzReadFrame -fuzztime=$(FUZZTIME) -run NONE ./internal/wire/
 	$(GO) test -fuzz=FuzzParseHandshake -fuzztime=$(FUZZTIME) -run NONE ./internal/wire/
 	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) -run NONE ./internal/rlp/
+	$(GO) test -fuzz='^FuzzParseSnapManifest$$' -fuzztime=$(FUZZTIME) -run NONE ./internal/p2p/
+	$(GO) test -fuzz='^FuzzParseSnapChunkRequest$$' -fuzztime=$(FUZZTIME) -run NONE ./internal/p2p/
+	$(GO) test -fuzz='^FuzzParseSnapChunk$$' -fuzztime=$(FUZZTIME) -run NONE ./internal/p2p/
+	$(GO) test -fuzz='^FuzzParseRangeBlocks$$' -fuzztime=$(FUZZTIME) -run NONE ./internal/p2p/
 
 fmt:
 	@unformatted=$$(gofmt -l .); \

@@ -31,35 +31,49 @@ type Pass struct {
 	Run func(p *Package) []Finding
 }
 
-// Passes returns the full catalog in reporting order.
-func Passes() []*Pass {
-	return []*Pass{
-		passDetsource,
-		passSenterr,
-		passLocksafe,
-		passMetricname,
-		passBoundalloc,
-		passLogdisc,
-		passFsyncdisc,
-	}
+// passCatalog is built once at package init: Passes is called per
+// allowlist line and per finding, so rebuilding the slice each call was
+// pure allocation churn. The order is the reporting order.
+var passCatalog = []*Pass{
+	passDetsource,
+	passSenterr,
+	passLocksafe,
+	passLockorder,
+	passGoleak,
+	passMetricname,
+	passBoundalloc,
+	passWiretaint,
+	passLogdisc,
+	passFsyncdisc,
 }
 
-// PassByName resolves a catalog entry; nil if unknown.
-func PassByName(name string) *Pass {
-	for _, p := range Passes() {
-		if p.Name == name {
-			return p
-		}
+// passByName indexes the catalog for PassByName, built alongside it.
+var passByName = func() map[string]*Pass {
+	m := make(map[string]*Pass, len(passCatalog))
+	for _, p := range passCatalog {
+		m[p.Name] = p
 	}
-	return nil
-}
+	return m
+}()
+
+// Passes returns the full catalog in reporting order.
+func Passes() []*Pass { return passCatalog }
+
+// PassByName resolves a catalog entry; nil if unknown.
+func PassByName(name string) *Pass { return passByName[name] }
 
 // RunAll executes every pass over every package and returns the findings
 // sorted by file, line, then pass name.
 func RunAll(pkgs []*Package) []Finding {
+	return RunPasses(pkgs, Passes())
+}
+
+// RunPasses executes the given passes over every package with the same
+// ordering guarantees as RunAll — the `scvet -pass` subset path.
+func RunPasses(pkgs []*Package, passes []*Pass) []Finding {
 	var out []Finding
 	for _, pkg := range pkgs {
-		for _, pass := range Passes() {
+		for _, pass := range passes {
 			out = append(out, pass.Run(pkg)...)
 		}
 	}

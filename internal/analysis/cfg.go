@@ -1,0 +1,442 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFG is a statement-level control-flow graph for one function body.
+// Blocks hold statements in execution order; edges follow Go control
+// flow including labeled break/continue and goto. Func literals inside
+// the body are opaque — their statements belong to the enclosing
+// statement's block (they execute when called, not where written).
+//
+// The graph exists for two questions the interprocedural passes ask:
+//
+//   - dominance: does this bound check lie on every path to that
+//     allocation? (wiretaint's "dominating comparison")
+//   - reachability: can control leave this loop at all? (goleak's
+//     "reachable termination path")
+//
+// Precision notes: fallthrough is treated as an ordinary statement (the
+// next case is already a sibling successor of the switch head), and
+// panic is not an exit — both err toward fewer findings, never more.
+type CFG struct {
+	Entry, Exit *Block
+	Blocks      []*Block
+
+	spans []nodeSpan
+	doms  map[*Block]map[*Block]bool
+}
+
+// Block is one basic block.
+type Block struct {
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+type nodeSpan struct {
+	pos, end token.Pos
+	b        *Block
+}
+
+// BuildCFG constructs the graph for a function or func-literal body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	c := &CFG{}
+	c.Entry = c.newBlock()
+	c.Exit = c.newBlock()
+	b := &cfgBuilder{cfg: c, cur: c.Entry, labels: map[string]*Block{}}
+	b.stmtList(body.List)
+	b.edge(b.cur, c.Exit)
+	for _, g := range b.gotos {
+		if target := b.labels[g.label]; target != nil {
+			b.edge(g.from, target)
+		}
+	}
+	return c
+}
+
+// BlockAt returns the block of the innermost recorded statement whose
+// span covers pos, or nil — the bridge from expression positions (a
+// make call, a comparison) to graph nodes.
+func (c *CFG) BlockAt(pos token.Pos) *Block {
+	var best *Block
+	bestSize := token.Pos(-1)
+	for _, s := range c.spans {
+		if s.pos <= pos && pos < s.end {
+			if size := s.end - s.pos; best == nil || size < bestSize {
+				best, bestSize = s.b, size
+			}
+		}
+	}
+	return best
+}
+
+// Dominates reports whether a lies on every entry path to b. A block
+// unreachable from entry dominates nothing and is dominated by nothing.
+func (c *CFG) Dominates(a, b *Block) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	if c.doms == nil {
+		c.computeDominators()
+	}
+	return c.doms[b][a]
+}
+
+// CanReach reports whether to is reachable from from along edges.
+func (c *CFG) CanReach(from, to *Block) bool {
+	if from == nil || to == nil {
+		return false
+	}
+	seen := map[*Block]bool{from: true}
+	work := []*Block{from}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		if b == to {
+			return true
+		}
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return false
+}
+
+// computeDominators runs the classic iterative data-flow over the
+// reachable subgraph; function CFGs are small enough that sets of
+// blocks beat anything cleverer.
+func (c *CFG) computeDominators() {
+	reach := map[*Block]bool{}
+	work := []*Block{c.Entry}
+	reach[c.Entry] = true
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Succs {
+			if !reach[s] {
+				reach[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	c.doms = map[*Block]map[*Block]bool{}
+	c.doms[c.Entry] = map[*Block]bool{c.Entry: true}
+	var reachable []*Block
+	for _, b := range c.Blocks {
+		if reach[b] && b != c.Entry {
+			reachable = append(reachable, b)
+			all := make(map[*Block]bool, len(c.Blocks))
+			for _, o := range c.Blocks {
+				if reach[o] {
+					all[o] = true
+				}
+			}
+			c.doms[b] = all
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range reachable {
+			next := map[*Block]bool{}
+			first := true
+			for _, p := range b.Preds {
+				if !reach[p] {
+					continue
+				}
+				if first {
+					for d := range c.doms[p] {
+						next[d] = true
+					}
+					first = false
+					continue
+				}
+				for d := range next {
+					if !c.doms[p][d] {
+						delete(next, d)
+					}
+				}
+			}
+			next[b] = true
+			if len(next) != len(c.doms[b]) {
+				c.doms[b] = next
+				changed = true
+			}
+		}
+	}
+}
+
+func (c *CFG) newBlock() *Block {
+	b := &Block{}
+	c.Blocks = append(c.Blocks, b)
+	return b
+}
+
+// cfgTarget is one enclosing breakable construct.
+type cfgTarget struct {
+	label      string
+	isLoop     bool
+	breakTo    *Block
+	continueTo *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type cfgBuilder struct {
+	cfg     *CFG
+	cur     *Block
+	targets []cfgTarget
+	// pending is a label waiting to attach to the next loop/switch, so
+	// `break label` and `continue label` resolve to that construct.
+	pending string
+	labels  map[string]*Block
+	gotos   []pendingGoto
+}
+
+func (b *cfgBuilder) newBlock() *Block { return b.cfg.newBlock() }
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends a node to the current block and records its span.
+func (b *cfgBuilder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+	b.cfg.spans = append(b.cfg.spans, nodeSpan{pos: n.Pos(), end: n.End(), b: b.cur})
+}
+
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pending
+	b.pending = ""
+	return l
+}
+
+func (b *cfgBuilder) push(t cfgTarget) { b.targets = append(b.targets, t) }
+func (b *cfgBuilder) pop()             { b.targets = b.targets[:len(b.targets)-1] }
+
+func (b *cfgBuilder) findBreak(label *ast.Ident) *cfgTarget {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := &b.targets[i]
+		if label == nil || t.label == label.Name {
+			return t
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) findContinue(label *ast.Ident) *cfgTarget {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := &b.targets[i]
+		if t.isLoop && (label == nil || t.label == label.Name) {
+			return t
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		// The if itself anchors its condition's block; its span covers
+		// the whole statement, so BlockAt prefers inner statements.
+		b.add(s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			cont = post
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		b.push(cfgTarget{label: label, isLoop: true, breakTo: after, continueTo: cont})
+		b.cur = body
+		b.stmt(s.Body)
+		b.pop()
+		if post != nil {
+			b.edge(b.cur, post)
+			b.cur = post
+			b.add(s.Post)
+			b.edge(post, head)
+		} else {
+			b.edge(b.cur, head)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		b.add(s.X)
+		after := b.newBlock()
+		b.edge(head, after)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.push(cfgTarget{label: label, isLoop: true, breakTo: after, continueTo: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.pop()
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		b.buildSwitch(s.Init, s.Tag, s.Body)
+
+	case *ast.TypeSwitchStmt:
+		b.buildSwitch(s.Init, nil, s.Body)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		after := b.newBlock()
+		b.push(cfgTarget{label: label, breakTo: after})
+		for _, cl := range s.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			blk := b.newBlock()
+			b.edge(head, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.edge(b.cur, after)
+		}
+		b.pop()
+		// A select{} with no cases blocks forever: head gets no edges,
+		// after stays unreachable — exactly the semantics.
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = b.newBlock()
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findBreak(s.Label); t != nil {
+				b.edge(b.cur, t.breakTo)
+			}
+			b.cur = b.newBlock()
+		case token.CONTINUE:
+			if t := b.findContinue(s.Label); t != nil {
+				b.edge(b.cur, t.continueTo)
+			}
+			b.cur = b.newBlock()
+		case token.GOTO:
+			if s.Label != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			}
+			b.cur = b.newBlock()
+		}
+
+	case *ast.LabeledStmt:
+		lb := b.newBlock()
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.labels[s.Label.Name] = lb
+		b.pending = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pending = ""
+
+	default:
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) buildSwitch(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	head := b.cur
+	after := b.newBlock()
+	b.push(cfgTarget{label: label, breakTo: after})
+	hasDefault := false
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock()
+		b.edge(head, blk)
+		b.cur = blk
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.pop()
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.cur = after
+}

@@ -1,0 +1,296 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// passGoleak demands every spawned goroutine have a reachable
+// termination path. A goroutine is flagged when the function (or
+// literal) it launches provably never returns — its CFG exit is
+// unreachable, or a call to a never-returning function dominates the
+// exit — AND neither it nor anything it calls waits on a shutdown
+// signal (a stop/done/ctx channel receive, a close-terminated range
+// over a channel, a WaitGroup registration, os.Exit/Goexit). Such a
+// goroutine outlives every Close/Stop the node performs: the classic
+// slow leak that only shows up as RSS creep in soak tests.
+//
+// The analysis is interprocedural: a select-on-stop buried two helpers
+// deep still counts, and `go func() { s.spinForever() }()` is still
+// caught even though the literal itself falls off its end.
+var passGoleak = &Pass{
+	Name: "goleak",
+	Doc:  "every go statement launches work with a reachable termination path or shutdown signal",
+	Run:  runGoleak,
+}
+
+// goleakFacts are the program-wide results, computed once.
+type goleakFacts struct {
+	cg *CallGraph
+	// noTerm marks functions with no terminating path: exit unreachable,
+	// or every path funnels through a call to a noTerm function.
+	noTerm map[string]bool
+	// signal marks functions that — directly or transitively — wait on a
+	// shutdown signal.
+	signal map[string]map[string]bool
+	cfgs   map[string]*CFG
+}
+
+const termSignalFact = "term-signal"
+
+func runGoleak(p *Package) []Finding {
+	if !strings.Contains(p.ImportPath, "internal/") {
+		return nil
+	}
+	facts := p.Prog.memoize("goleak", func() any {
+		return buildGoleakFacts(p.Prog)
+	}).(*goleakFacts)
+
+	var out []Finding
+	for _, node := range facts.cg.Funcs {
+		if node.Pkg != p {
+			continue
+		}
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if desc, leaky := goStmtLeaks(facts, node, g); leaky {
+				out = append(out, p.finding("goleak", g,
+					"goroutine %s has no reachable termination path: it never returns and waits on no stop/done/ctx signal; give it a stop channel, context, or bounded loop", desc))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// goStmtLeaks decides one go statement. Literals are analyzed in place;
+// named targets via the program facts. Interface dispatch only counts
+// when every resolvable implementation leaks.
+func goStmtLeaks(facts *goleakFacts, node *FuncNode, g *ast.GoStmt) (string, bool) {
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		return "func literal", litLeaks(facts, node, lit)
+	}
+	site := node.siteFor(g.Call)
+	if site == nil {
+		return "", false
+	}
+	any := false
+	var desc string
+	for _, callee := range site.Callees {
+		if _, known := facts.cg.Funcs[callee]; !known {
+			return "", false // out-of-module target: not analyzable
+		}
+		any = true
+		if !facts.noTerm[callee] || facts.signal[callee][termSignalFact] {
+			return "", false
+		}
+		desc = shortKey(callee)
+	}
+	return desc, any
+}
+
+func (n *FuncNode) siteFor(call *ast.CallExpr) *CallSite {
+	for i := range n.Calls {
+		if n.Calls[i].Call == call {
+			return &n.Calls[i]
+		}
+	}
+	return nil
+}
+
+// litLeaks analyzes one go-launched literal body with the same rules
+// the program-wide pass applies to declared functions.
+func litLeaks(facts *goleakFacts, node *FuncNode, lit *ast.FuncLit) bool {
+	c := BuildCFG(lit.Body)
+	calls := node.CallsIn(lit.Body.Pos(), lit.Body.End())
+	nestedLits := nestedFuncLitRanges(lit.Body)
+	noTerm := !c.CanReach(c.Entry, c.Exit)
+	if !noTerm {
+		noTerm = dominatedByNoTerm(c, calls, nestedLits, facts.noTerm)
+	}
+	if !noTerm {
+		return false
+	}
+	if directTermSignal(node.Pkg, lit.Body) {
+		return false
+	}
+	nestedGo := goLitRanges(lit.Body)
+	for _, site := range calls {
+		if inRanges(nestedGo, site.Call.Pos()) {
+			continue
+		}
+		for _, callee := range site.Callees {
+			if facts.signal[callee][termSignalFact] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func buildGoleakFacts(pr *Program) *goleakFacts {
+	cg := pr.CallGraph()
+	facts := &goleakFacts{
+		cg:     cg,
+		noTerm: map[string]bool{},
+		cfgs:   make(map[string]*CFG, len(cg.Funcs)),
+	}
+	litRanges := map[string][][2]token.Pos{}
+	for key, node := range cg.Funcs {
+		facts.cfgs[key] = BuildCFG(node.Decl.Body)
+		litRanges[key] = nestedFuncLitRanges(node.Decl.Body)
+		if !facts.cfgs[key].CanReach(facts.cfgs[key].Entry, facts.cfgs[key].Exit) {
+			facts.noTerm[key] = true
+		}
+	}
+	// A function also never terminates when a call to a never-terminating
+	// callee dominates its exit — `func run() { spin() }` is as infinite
+	// as spin itself. Iterate to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for key, node := range cg.Funcs {
+			if facts.noTerm[key] {
+				continue
+			}
+			if dominatedByNoTerm(facts.cfgs[key], node.Calls, litRanges[key], facts.noTerm) {
+				facts.noTerm[key] = true
+				changed = true
+			}
+		}
+	}
+
+	direct := map[string]map[string]bool{}
+	for key, node := range cg.Funcs {
+		set := map[string]bool{}
+		if directTermSignal(node.Pkg, node.Decl.Body) {
+			set[termSignalFact] = true
+		}
+		direct[key] = set
+	}
+	facts.signal = cg.FixpointSets(direct, true)
+	return facts
+}
+
+// dominatedByNoTerm reports whether some call whose every target is
+// known never to terminate sits on all paths to the exit. Calls inside
+// func literals are skipped — they run when invoked, not here — as are
+// deferred calls.
+func dominatedByNoTerm(c *CFG, calls []CallSite, litRanges [][2]token.Pos, noTerm map[string]bool) bool {
+	for _, site := range calls {
+		if site.Deferred || len(site.Callees) == 0 || inRanges(litRanges, site.Call.Pos()) {
+			continue
+		}
+		all := true
+		for _, callee := range site.Callees {
+			if !noTerm[callee] {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		if blk := c.BlockAt(site.Call.Pos()); blk != nil && c.Dominates(blk, c.Exit) {
+			return true
+		}
+	}
+	return false
+}
+
+// directTermSignal scans one body (excluding nested go-launched
+// literals, which run concurrently) for an in-function shutdown signal.
+func directTermSignal(p *Package, body *ast.BlockStmt) bool {
+	nestedGo := goLitRanges(body)
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !inRanges(nestedGo, n.Pos()) && stopishExpr(p, n.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			// Range over a channel terminates when the sender closes it —
+			// a termination path owned by the other side.
+			if !inRanges(nestedGo, n.Pos()) {
+				if t := p.Info.TypeOf(n.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						found = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if inRanges(nestedGo, n.Pos()) {
+				return true
+			}
+			obj := calleeObj(p.Info, n)
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "os":
+				if obj.Name() == "Exit" {
+					found = true
+				}
+			case "runtime":
+				if obj.Name() == "Goexit" {
+					found = true
+				}
+			case "sync":
+				// Done/Wait on a WaitGroup: the goroutine participates in a
+				// registered join, so something owns its lifetime.
+				if obj.Name() == "Done" || obj.Name() == "Wait" {
+					found = true
+				}
+			case "log":
+				if strings.HasPrefix(obj.Name(), "Fatal") {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// stopishExpr reports whether a received-from channel expression reads
+// like a shutdown signal ("<-t.stop", "<-ctx.Done()", "<-p.quit", ...).
+func stopishExpr(p *Package, x ast.Expr) bool {
+	text := strings.ToLower(exprText(p.Fset, x))
+	for _, kw := range []string{"stop", "done", "quit", "shutdown", "exit", "kill", "halt", "closing", "closed", "ctx", "cancel"} {
+		if strings.Contains(text, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+// nestedFuncLitRanges returns the body span of every func literal under
+// root — go-launched or not.
+func nestedFuncLitRanges(root ast.Node) [][2]token.Pos {
+	var out [][2]token.Pos
+	ast.Inspect(root, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			out = append(out, [2]token.Pos{lit.Body.Pos(), lit.Body.End()})
+		}
+		return true
+	})
+	return out
+}
+
+// exprText renders an expression back to source text — the canonical
+// string form the taint and signal analyses key on.
+func exprText(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, fset, e)
+	return buf.String()
+}

@@ -47,6 +47,11 @@ type Package struct {
 	// scvet can still report on a tree mid-refactor, but callers may want
 	// to surface these.
 	TypeErrors []error
+	// Prog links back to the whole load: the interprocedural passes
+	// (lockorder, goleak, wiretaint) need every package's function bodies
+	// to chase calls across package boundaries. Load wires all packages
+	// into one Program; LoadDir wraps the fixture in a singleton.
+	Prog *Program
 }
 
 // listPkg is the subset of `go list -json` output the loader consumes.
@@ -172,6 +177,10 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		out = append(out, pkg)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	prog := &Program{Pkgs: out}
+	for _, p := range out {
+		p.Prog = prog
+	}
 	return out, nil
 }
 
@@ -239,5 +248,6 @@ func LoadDir(moduleDir, fixtureDir, asPath string) (*Package, error) {
 		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
 	}
 	pkg.Pkg, _ = conf.Check(asPath, fset, files, pkg.Info)
+	pkg.Prog = &Program{Pkgs: []*Package{pkg}}
 	return pkg, nil
 }

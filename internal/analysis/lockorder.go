@@ -1,0 +1,403 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockorderPkgs are the packages whose mutexes guard the node's hot
+// paths — the jurisdiction in which acquisition-order edges are
+// collected and findings reported. Locks living elsewhere still appear
+// in the graph when a scoped function reaches them through a call.
+var lockorderPkgs = []string{
+	"internal/chain",
+	"internal/node",
+	"internal/p2p",
+	"internal/store",
+	"internal/rpc",
+	"internal/txpool",
+	"internal/telemetry",
+	"internal/wire",
+}
+
+// blessedLockOrder is the repo's documented global acquisition order,
+// outermost first. Any two locks ever held together must be acquired
+// left-to-right along this list; lockorder reports the cycles that
+// violate it. See DESIGN.md §9.
+const blessedLockOrder = "node.* -> chain.Chain.mu -> txpool.Pool.mu -> store.Disk.* -> wire.Transport.mu -> telemetry.*"
+
+// passLockorder detects static deadlock potential: it extracts every
+// Lock/RLock region per mutex identity (declaring type + field, or
+// package variable), propagates may-acquire sets bottom-up through the
+// call graph, and reports every edge that participates in a cycle of
+// the resulting lock-acquisition graph. A cycle means two executions
+// can acquire the same pair of locks in opposite orders — the classic
+// AB/BA deadlock -race never reliably exercises.
+//
+// Identity is per declaration, not per instance: two instances of the
+// same type share an id, so same-type hand-over-hand locking is
+// invisible (and self-edges are dropped for the same reason). Goroutine
+// bodies launched inside a region run concurrently, not under the
+// caller's locks, so they form their own root contexts; deferred calls
+// are skipped (they run as the region unwinds).
+var passLockorder = &Pass{
+	Name: "lockorder",
+	Doc:  "no cycles in the interprocedural lock-acquisition graph (static AB/BA deadlock detection)",
+	Run:  runLockorder,
+}
+
+// loEdge is one observed "acquired to while holding from" ordering.
+type loEdge struct {
+	from, to string
+	pos      token.Pos
+	pkg      *Package
+	via      string // callee key for call-propagated edges, "" for direct
+}
+
+func runLockorder(p *Package) []Finding {
+	if !hasPathSuffix(p.ImportPath, lockorderPkgs...) {
+		return nil
+	}
+	byPkg := p.Prog.memoize("lockorder", func() any {
+		return lockorderProgram(p.Prog)
+	}).(map[*Package][]Finding)
+	return byPkg[p]
+}
+
+func lockorderProgram(pr *Program) map[*Package][]Finding {
+	cg := pr.CallGraph()
+
+	// Every function's direct acquisitions (module-wide: helpers outside
+	// the scoped packages still count when called under a scoped lock).
+	direct := map[string]map[string]bool{}
+	for key, node := range cg.Funcs {
+		set := map[string]bool{}
+		for _, ev := range loEvents(node.Pkg, node.Decl.Body) {
+			if ev.acquire {
+				set[ev.id] = true
+			}
+		}
+		direct[key] = set
+	}
+	mayAcquire := cg.FixpointSets(direct, true)
+
+	// Edge collection: every function body, plus every go-launched func
+	// literal as its own lock-free root.
+	var edges []loEdge
+	adj := map[string]map[string]bool{}
+	addEdge := func(e loEdge) {
+		if e.from == e.to {
+			return
+		}
+		edges = append(edges, e)
+		if adj[e.from] == nil {
+			adj[e.from] = map[string]bool{}
+		}
+		adj[e.from][e.to] = true
+		if adj[e.to] == nil {
+			adj[e.to] = map[string]bool{}
+		}
+	}
+	for _, node := range cg.Funcs {
+		bodies := []*ast.BlockStmt{node.Decl.Body}
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+					bodies = append(bodies, lit.Body)
+				}
+			}
+			return true
+		})
+		for _, body := range bodies {
+			collectLockEdges(node, body, mayAcquire, addEdge)
+		}
+	}
+
+	// Cycles = non-trivial strongly connected components.
+	scc := tarjanSCC(adj)
+	inCycle := func(a, b string) bool {
+		ca, ok1 := scc[a]
+		cb, ok2 := scc[b]
+		return ok1 && ok2 && ca.id == cb.id && ca.size > 1
+	}
+
+	// One finding per directed edge inside a cycle, at the earliest site.
+	best := map[[2]string]loEdge{}
+	for _, e := range edges {
+		if !inCycle(e.from, e.to) {
+			continue
+		}
+		k := [2]string{e.from, e.to}
+		prev, ok := best[k]
+		if !ok || e.pos < prev.pos {
+			best[k] = e
+		}
+	}
+	out := map[*Package][]Finding{}
+	for _, e := range best {
+		if !hasPathSuffix(e.pkg.ImportPath, lockorderPkgs...) {
+			continue
+		}
+		members := make([]string, 0, 4)
+		for m, c := range scc {
+			if c.id == scc[e.from].id {
+				members = append(members, m)
+			}
+		}
+		sort.Strings(members)
+		via := ""
+		if e.via != "" {
+			via = fmt.Sprintf(" (via call to %s)", shortKey(e.via))
+		}
+		out[e.pkg] = append(out[e.pkg], Finding{
+			Pos:  e.pkg.Fset.Position(e.pos),
+			Pass: "lockorder",
+			Msg: fmt.Sprintf("acquiring %s while holding %s%s closes a lock-order cycle {%s}; keep to the blessed order: %s",
+				e.to, e.from, via, strings.Join(members, ", "), blessedLockOrder),
+		})
+	}
+	return out
+}
+
+// loEvent is one acquisition or release, in lexical order.
+type loEvent struct {
+	pos     token.Pos
+	id      string
+	acquire bool
+}
+
+// loEvents extracts the Lock/RLock/Unlock/RUnlock events of body,
+// excluding go-launched literal bodies (separate contexts) and deferred
+// unlocks (the region stays open to function end, exactly as locksafe
+// models it).
+func loEvents(p *Package, body *ast.BlockStmt) []loEvent {
+	nested := goLitRanges(body)
+	var deferred []*ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred = append(deferred, d.Call)
+		}
+		return true
+	})
+	var events []loEvent
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || inRanges(nested, call.Pos()) {
+			return true
+		}
+		id, acquire, ok := lockCallID(p, call)
+		if !ok {
+			return true
+		}
+		if !acquire && isDeferredCall(deferred, call) {
+			return true
+		}
+		events = append(events, loEvent{pos: call.Pos(), id: id, acquire: acquire})
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return events
+}
+
+// collectLockEdges replays body's lexical lock events against its call
+// sites, emitting a from->to edge whenever a lock is acquired — directly
+// or transitively through a call — while another is held.
+func collectLockEdges(node *FuncNode, body *ast.BlockStmt, mayAcquire map[string]map[string]bool, addEdge func(loEdge)) {
+	nested := goLitRanges(body)
+	events := loEvents(node.Pkg, body)
+
+	type callEvent struct {
+		pos     token.Pos
+		callees []string
+	}
+	var calls []callEvent
+	for _, site := range node.CallsIn(body.Pos(), body.End()) {
+		if site.Deferred || inRanges(nested, site.Call.Pos()) {
+			continue
+		}
+		calls = append(calls, callEvent{pos: site.Call.Pos(), callees: site.Callees})
+	}
+	sort.Slice(calls, func(i, j int) bool { return calls[i].pos < calls[j].pos })
+
+	held := map[string]int{}
+	heldIDs := func() []string {
+		ids := make([]string, 0, len(held))
+		for id, n := range held {
+			if n > 0 {
+				ids = append(ids, id)
+			}
+		}
+		sort.Strings(ids)
+		return ids
+	}
+	ci := 0
+	emitCalls := func(until token.Pos) {
+		for ; ci < len(calls) && calls[ci].pos < until; ci++ {
+			hs := heldIDs()
+			if len(hs) == 0 {
+				continue
+			}
+			for _, callee := range calls[ci].callees {
+				for acq := range mayAcquire[callee] {
+					for _, h := range hs {
+						addEdge(loEdge{from: h, to: acq, pos: calls[ci].pos, pkg: node.Pkg, via: callee})
+					}
+				}
+			}
+		}
+	}
+	for _, ev := range events {
+		emitCalls(ev.pos)
+		if ev.acquire {
+			for _, h := range heldIDs() {
+				addEdge(loEdge{from: h, to: ev.id, pos: ev.pos, pkg: node.Pkg})
+			}
+			held[ev.id]++
+		} else if held[ev.id] > 0 {
+			held[ev.id]--
+		}
+	}
+	emitCalls(body.End())
+}
+
+// lockCallID recognises sync mutex Lock/RLock/Unlock/RUnlock calls and
+// names the mutex by declaration: "pkg.Type.field" for struct fields,
+// "pkg.Type" for locks promoted from an embedded mutex, "pkg.name" for
+// variables.
+func lockCallID(p *Package, call *ast.CallExpr) (id string, acquire, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return "", false, false
+	}
+	obj := calleeObj(p.Info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	id = mutexExprID(p, sel.X)
+	if id == "" {
+		return "", false, false
+	}
+	return id, acquire, true
+}
+
+// mutexExprID names the mutex an expression denotes, by declaration.
+func mutexExprID(p *Package, x ast.Expr) string {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		v, ok := p.Info.Uses[x.Sel].(*types.Var)
+		if !ok {
+			return ""
+		}
+		if v.IsField() {
+			if s, ok := p.Info.Selections[x]; ok {
+				if owner := namedOf(s.Recv()); owner != nil && owner.Obj().Pkg() != nil {
+					return shortPkg(owner.Obj().Pkg().Path()) + "." + owner.Obj().Name() + "." + v.Name()
+				}
+			}
+		}
+		if v.Pkg() != nil {
+			return shortPkg(v.Pkg().Path()) + "." + v.Name()
+		}
+	case *ast.Ident:
+		v := varObj(p.Info, x)
+		if v == nil {
+			return ""
+		}
+		// A promoted Lock on an embedding type: the receiver expression
+		// is the struct itself, so its named type is the identity.
+		if named := namedOf(v.Type()); named != nil && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() != "sync" {
+			return shortPkg(named.Obj().Pkg().Path()) + "." + named.Obj().Name()
+		}
+		pkgPath := p.ImportPath
+		if v.Pkg() != nil {
+			pkgPath = v.Pkg().Path()
+		}
+		return shortPkg(pkgPath) + "." + v.Name()
+	}
+	return ""
+}
+
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// sccInfo labels a node with its component id and component size.
+type sccInfo struct{ id, size int }
+
+// tarjanSCC computes strongly connected components of a string graph.
+func tarjanSCC(adj map[string]map[string]bool) map[string]sccInfo {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	out := map[string]sccInfo{}
+	next, compID := 0, 0
+
+	var nodes []string
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		var succs []string
+		for w := range adj[v] {
+			succs = append(succs, w)
+		}
+		sort.Strings(succs)
+		for _, w := range succs {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var members []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			for _, m := range members {
+				out[m] = sccInfo{id: compID, size: len(members)}
+			}
+			compID++
+		}
+	}
+	for _, n := range nodes {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	return out
+}

@@ -29,6 +29,18 @@ func TestLocksafeRPCFixture(t *testing.T) {
 	runFixtureAs(t, "locksafe_rpc", "locksafe", modPrefix+"internal/rpc")
 }
 
+func TestLockorderFixture(t *testing.T) {
+	runFixture(t, "lockorder", modPrefix+"internal/chain")
+}
+
+func TestGoleakFixture(t *testing.T) {
+	runFixture(t, "goleak", modPrefix+"internal/node")
+}
+
+func TestWiretaintFixture(t *testing.T) {
+	runFixture(t, "wiretaint", modPrefix+"internal/p2p")
+}
+
 func TestMetricnameFixture(t *testing.T) {
 	runFixture(t, "metricname", modPrefix+"internal/node")
 }
@@ -78,6 +90,10 @@ func TestPassesScopedToTheirPackages(t *testing.T) {
 		{"locksafe", "locksafe", modPrefix + "internal/node"},
 		{"locksafe_rpc", "locksafe", modPrefix + "internal/node"},
 		{"boundalloc", "boundalloc", modPrefix + "internal/chain"},
+		{"lockorder", "lockorder", modPrefix + "internal/incentive"},
+		{"goleak", "goleak", modPrefix + "cmd/smartcrowd"},
+		{"wiretaint", "wiretaint", modPrefix + "cmd/smartcrowd"},
+		{"wiretaint", "wiretaint", modPrefix + "internal/state"},
 		{"logdisc", "logdisc", modPrefix + "cmd/smartcrowd"},
 		{"logdisc", "logdisc", modPrefix + "internal/telemetry"},
 		{"fsyncdisc", "fsyncdisc", modPrefix + "internal/chain"},

@@ -1,0 +1,137 @@
+// Fixture for the goleak pass. Loaded as-if it were internal/node:
+// every go statement must launch work with a reachable termination
+// path — a return the CFG can reach, or a shutdown signal (stop/done
+// channel, ctx.Done, WaitGroup registration) somewhere in its call
+// tree.
+package fixgoleak
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type Server struct {
+	stop chan struct{}
+	jobs chan int
+	n    int
+}
+
+func (s *Server) poll() { s.n++ }
+
+// spin loops forever with no exit and no signal.
+func (s *Server) spin() {
+	for {
+		s.poll()
+	}
+}
+
+// leakySpin: the literal itself is the inescapable loop.
+func leakySpin(s *Server) {
+	go func() { // want `goroutine func literal has no reachable termination path`
+		for {
+			s.poll()
+		}
+	}()
+}
+
+// launchSpin: the leak lives in the named method.
+func launchSpin(s *Server) {
+	go s.spin() // want `goroutine node\.\(Server\)\.spin has no reachable termination path`
+}
+
+// launchWrapped: the literal falls off its end, but only after a call
+// that never returns — still a leak.
+func launchWrapped(s *Server) {
+	go func() { // want `goroutine func literal has no reachable termination path`
+		s.spin()
+	}()
+}
+
+// launchTicker is the classic slow leak: nothing ever stops the loop,
+// and the ticker pins it in memory forever.
+func launchTicker(s *Server) {
+	t := time.NewTicker(time.Second)
+	go func() { // want `goroutine func literal has no reachable termination path`
+		for {
+			<-t.C
+			s.poll()
+		}
+	}()
+}
+
+// ---- the healthy shapes stay silent ----
+
+// loop exits through its stop channel.
+func (s *Server) loop() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		case job := <-s.jobs:
+			s.n += job
+		}
+	}
+}
+
+func launchLoop(s *Server) {
+	go s.loop()
+}
+
+// launchBounded runs a bounded loop and returns.
+func launchBounded(s *Server) {
+	go func() {
+		for i := 0; i < 8; i++ {
+			s.poll()
+		}
+	}()
+}
+
+// launchRange terminates when the sender closes the channel.
+func launchRange(s *Server) {
+	go func() {
+		for job := range s.jobs {
+			s.n += job
+		}
+	}()
+}
+
+// launchCtx exits on context cancellation.
+func launchCtx(ctx context.Context, s *Server) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				s.poll()
+			}
+		}
+	}()
+}
+
+// waitStep blocks on the stop channel — a termination signal the
+// launcher below only reaches through this call.
+func (s *Server) waitStep() {
+	<-s.stop
+}
+
+func launchSignalHelper(s *Server) {
+	go func() {
+		for {
+			s.waitStep()
+		}
+	}()
+}
+
+// launchWG registers with a WaitGroup: its lifetime is owned by the
+// waiter.
+func launchWG(s *Server, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			s.poll()
+		}
+	}()
+}

@@ -1,0 +1,119 @@
+// Fixture for the lockorder pass. Loaded as-if it were internal/chain:
+// a seeded two-mutex cycle must be reported in both directions, an
+// interprocedural cycle must be reported at the call sites that close
+// it, and code that keeps to one consistent (blessed) order stays
+// silent.
+package fixlockorder
+
+import "sync"
+
+// Engine and Pool form the seeded AB/BA cycle: thenPool holds
+// Engine.mu while taking Pool.mu, thenEngine does the reverse.
+type Engine struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Pool struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (e *Engine) thenPool(p *Pool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p.mu.Lock() // want `acquiring chain\.Pool\.mu while holding chain\.Engine\.mu closes a lock-order cycle`
+	p.n++
+	p.mu.Unlock()
+}
+
+func (p *Pool) thenEngine(e *Engine) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e.mu.Lock() // want `acquiring chain\.Engine\.mu while holding chain\.Pool\.mu closes a lock-order cycle`
+	e.n++
+	e.mu.Unlock()
+}
+
+// Reg and Jrnl cycle interprocedurally: neither function takes both
+// locks itself — each holds its own and calls into the other type.
+type Reg struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Jrnl struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (r *Reg) flush(j *Jrnl) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j.appendRec() // want `acquiring chain\.Jrnl\.mu while holding chain\.Reg\.mu \(via call to chain\.\(Jrnl\)\.appendRec\) closes a lock-order cycle`
+}
+
+func (j *Jrnl) appendRec() {
+	j.mu.Lock()
+	j.n++
+	j.mu.Unlock()
+}
+
+func (j *Jrnl) compact(r *Reg) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r.note() // want `acquiring chain\.Reg\.mu while holding chain\.Jrnl\.mu \(via call to chain\.\(Reg\)\.note\) closes a lock-order cycle`
+}
+
+func (r *Reg) note() {
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+}
+
+// Store only ever nests inside Engine — a consistent order is exactly
+// what the blessed global order demands, so no finding.
+type Store struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (e *Engine) persist(s *Store) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+func (e *Engine) persistAgain(s *Store) {
+	e.mu.Lock()
+	s.mu.Lock()
+	s.n += 2
+	s.mu.Unlock()
+	e.mu.Unlock()
+}
+
+// A goroutine launched under a lock runs concurrently, not under the
+// caller's locks: Store.mu inside the literal must not order after
+// Engine.mu held outside it (that would fabricate no cycle here, but
+// the exclusion is what keeps spawn-heavy code quiet).
+func (e *Engine) spawn(s *Store) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	go func() {
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}()
+}
+
+// Same-type hand-over-hand: identity is per declaration, so a->b and
+// b->a are the same self-edge and deliberately dropped.
+func handoff(a, b *Pool) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.n = a.n
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
